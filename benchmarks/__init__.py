@@ -1,0 +1,1 @@
+"""pytest-benchmark harness regenerating every table and figure of the paper."""

@@ -1,0 +1,32 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark exercises the same ``run_*`` entry points as
+``python -m repro.experiments.<artefact>``, scaled down through
+``BENCH_CONFIG`` so the whole suite finishes in minutes.  Export
+``REPRO_EXPERIMENT_PRESET=paper`` and use the experiment modules directly to
+run the full-size version.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+#: Reduced preset used by the pytest-benchmark targets.
+BENCH_CONFIG = ExperimentConfig(
+    n_restarts=1,
+    random_state=7,
+    datasets=("Car", "Con", "Tic", "Vot", "Bal"),
+    fig6_n_values=(1000, 2000, 4000),
+    fig6_k_values=(10, 20, 40),
+    fig6_d_values=(20, 40, 80),
+    fig6_base_n=2000,
+    fig6_base_d=10,
+    max_objects_slow_methods=2000,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    return BENCH_CONFIG

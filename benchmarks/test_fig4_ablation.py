@@ -1,0 +1,25 @@
+"""Benchmark E4 — Fig. 4: ablation study of MCDC's components."""
+
+import numpy as np
+
+from repro.experiments.fig4 import ABLATION_ORDER, run_fig4
+from benchmarks.conftest import BENCH_CONFIG
+
+
+def test_fig4_ablation(benchmark):
+    datasets = ("Con", "Vot", "Bal")
+    results = benchmark.pedantic(
+        run_fig4,
+        kwargs={"config": BENCH_CONFIG, "datasets": list(datasets)},
+        iterations=1,
+        rounds=1,
+    )
+    assert set(results) == set(datasets)
+    for dataset, by_version in results.items():
+        assert set(by_version) == set(ABLATION_ORDER)
+
+    # Shape check (paper Sec. IV-D): the full MCDC is, on average across data
+    # sets, at least as good as the most ablated version MCDC1.
+    mean_full = np.mean([results[ds]["MCDC"]["mean"] for ds in results])
+    mean_mcdc1 = np.mean([results[ds]["MCDC1"]["mean"] for ds in results])
+    assert mean_full >= mean_mcdc1 - 0.05

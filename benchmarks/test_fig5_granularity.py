@@ -1,0 +1,25 @@
+"""Benchmark E5 — Fig. 5: the multi-granular cluster numbers learned by MGCPL."""
+
+from repro.experiments.fig5 import run_fig5
+from benchmarks.conftest import BENCH_CONFIG
+
+
+def test_fig5_granularity(benchmark):
+    datasets = ("Con", "Vot", "Tic", "Bal")
+    results = benchmark.pedantic(
+        run_fig5,
+        kwargs={"config": BENCH_CONFIG, "datasets": list(datasets)},
+        iterations=1,
+        rounds=1,
+    )
+    assert set(results) == set(datasets)
+    for dataset, info in results.items():
+        kappa = info["kappa"]
+        # kappa is a non-increasing staircase starting below the initial k0.
+        assert all(kappa[i] >= kappa[i + 1] for i in range(len(kappa) - 1))
+        assert kappa[0] <= info["k0"]
+        # The learning converges to a coarse granularity far below k0.
+        assert info["final_k"] <= max(info["k0"] // 2, info["k_star"] + 2)
+
+    # On the well-structured two-class data sets the final k matches k*.
+    assert results["Vot"]["final_k"] == results["Vot"]["k_star"]

@@ -1,0 +1,22 @@
+"""Benchmark E6 — Fig. 6: execution time versus n, k and d (linear scalability)."""
+
+from repro.experiments.fig6 import TIMED_METHODS, linear_fit_r2, run_fig6
+from benchmarks.conftest import BENCH_CONFIG
+
+
+def test_fig6_scalability(benchmark):
+    results = benchmark.pedantic(
+        run_fig6, kwargs={"config": BENCH_CONFIG}, iterations=1, rounds=1
+    )
+    assert set(results) == {"vs_n", "vs_k", "vs_d"}
+    for series_name, rows in results.items():
+        assert len(rows) >= 3
+        for row in rows:
+            for method in TIMED_METHODS:
+                assert row[method] >= 0.0
+
+    # Shape check: MCDC's runtime grows sub-quadratically with n — a straight
+    # line explains the growth well (paper: linear time complexity).
+    xs = [row["x"] for row in results["vs_n"]]
+    ys = [row["MCDC"] for row in results["vs_n"]]
+    assert linear_fit_r2(xs, ys) > 0.7 or max(ys) < 2.0

@@ -1,0 +1,41 @@
+"""Benchmark E2 — Table III: clustering performance of the nine methods.
+
+The benchmark runs the same harness as ``python -m repro.experiments.table3``
+on a reduced preset and checks the paper's qualitative claims:
+
+* MCDC-family methods are best or second-best on most data sets,
+* easy data sets (Con/Vot) score high, hard ones (Tic/Bal) score low.
+"""
+
+import numpy as np
+
+from repro.experiments.runner import METHOD_NAMES
+from repro.experiments.table3 import run_table3
+from benchmarks.conftest import BENCH_CONFIG
+
+
+def test_table3_performance(benchmark):
+    results = benchmark.pedantic(
+        run_table3,
+        kwargs={"config": BENCH_CONFIG, "datasets": list(BENCH_CONFIG.datasets)},
+        iterations=1,
+        rounds=1,
+    )
+    assert set(results) == set(BENCH_CONFIG.datasets)
+    for dataset, by_method in results.items():
+        assert set(by_method) == set(METHOD_NAMES)
+        for method, by_index in by_method.items():
+            for index, stats in by_index.items():
+                assert -1.0 <= stats["mean"] <= 1.0
+
+    # Shape check: the MCDC family should rank in the top half on average ACC.
+    mean_acc = {
+        method: np.mean([results[ds][method]["ACC"]["mean"] for ds in results])
+        for method in METHOD_NAMES
+    }
+    ranking = sorted(mean_acc, key=mean_acc.get, reverse=True)
+    mcdc_positions = [ranking.index(m) for m in ("MCDC", "MCDC+G.", "MCDC+F.")]
+    assert min(mcdc_positions) < len(ranking) / 2
+
+    # Easy vs hard data sets keep their relative ordering for MCDC.
+    assert results["Con"]["MCDC"]["ACC"]["mean"] > results["Bal"]["MCDC"]["ACC"]["mean"]

@@ -1,0 +1,22 @@
+"""Benchmark E3 — Table IV: Wilcoxon signed-rank significance test."""
+
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import COUNTERPARTS, run_table4
+from repro.metrics import INDEX_NAMES
+from benchmarks.conftest import BENCH_CONFIG
+
+
+def test_table4_significance(benchmark):
+    table3 = run_table3(config=BENCH_CONFIG, datasets=list(BENCH_CONFIG.datasets))
+    results = benchmark.pedantic(
+        run_table4,
+        kwargs={"table3_results": table3, "config": BENCH_CONFIG},
+        iterations=1,
+        rounds=1,
+    )
+    assert set(results) == set(COUNTERPARTS)
+    for counterpart, by_index in results.items():
+        for index in INDEX_NAMES:
+            entry = by_index[index]
+            assert entry["symbol"] in ("+", "-")
+            assert 0.0 <= entry["p_value"] <= 1.0

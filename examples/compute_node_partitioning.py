@@ -1,0 +1,56 @@
+"""Cluster compute nodes by their categorical features (paper Fig. 1 / Sec. III-D).
+
+A pool of heterogeneous compute nodes (GPU type, GPU/memory usage, network
+tier, ...) is grouped into performance-consistent groups with MCDC, and a
+task workload is scheduled either blindly (round-robin, ignoring task
+profile requirements) or with the granularity-aware scheduler (tasks that
+request a hardware profile are placed inside the matching node group).  The
+simulation reports the within-group throughput consistency of the discovered
+groups and the makespan of both schedules; the aware schedule honours the
+profile constraints, which the blind one simply ignores.
+
+Run with ``python examples/compute_node_partitioning.py``.
+"""
+
+from repro.distributed import (
+    GranularityAwareScheduler,
+    RoundRobinScheduler,
+    make_node_pool,
+    node_group_consistency,
+    simulate_distributed_execution,
+)
+from repro.distributed.simulation import make_tasks
+
+
+def main() -> None:
+    pool = make_node_pool(n_nodes=48, n_profiles=4, random_state=0)
+    tasks = make_tasks(n_tasks=300, n_profiles=4, random_state=1)
+    print(f"Simulating {len(tasks)} tasks on {len(pool)} heterogeneous nodes")
+
+    # Baseline: deal tasks to nodes in turn, ignoring their heterogeneity.
+    blind = RoundRobinScheduler().assign(tasks, pool)
+    blind_report = simulate_distributed_execution(blind, pool)
+
+    # MCDC-guided: group nodes by their categorical profile first.
+    scheduler = GranularityAwareScheduler(n_groups=4, random_state=0)
+    aware = scheduler.assign(tasks, pool)
+    aware_report = simulate_distributed_execution(aware, pool)
+
+    consistency = node_group_consistency(pool.throughputs(), scheduler.node_groups_)
+    print(f"\nNode groups found by MCDC: {sorted(set(scheduler.node_groups_.tolist()))}")
+    print(f"Within-group throughput consistency: {consistency:.3f}")
+    print(f"\nRound-robin (ignores task profile requirements):   "
+          f"makespan {blind_report.makespan:8.2f}")
+    print(f"Granularity-aware (honours profile requirements):   "
+          f"makespan {aware_report.makespan:8.2f}")
+    if aware_report.makespan < blind_report.makespan:
+        gain = 100.0 * (1 - aware_report.makespan / blind_report.makespan)
+        print(f"--> grouping the nodes with MCDC also cut the makespan by {gain:.1f}%")
+    else:
+        print("--> the aware schedule pays a makespan premium for honouring the "
+              "profile constraints the blind schedule ignores; the MCDC node "
+              "groups are what makes honouring them possible at all.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Pre-partition a large categorical data set for distributed processing.
+
+Implements use case 1 of paper Sec. III-D: MCDC's multi-granular micro-
+clusters are packed into balanced partitions, preserving the local
+correlation structure much better than random sharding while keeping the
+load balanced.
+
+Run with ``python examples/distributed_prepartition.py``.
+"""
+
+import numpy as np
+
+from repro.data.generators import make_categorical_clusters
+from repro.distributed import MultiGranularPartitioner, intra_partition_similarity, load_balance
+
+
+def main() -> None:
+    dataset = make_categorical_clusters(
+        n_objects=5000, n_features=10, n_clusters=6, purity=0.85, random_state=0,
+        name="warehouse-events",
+    )
+    n_nodes = 8
+    print(f"Pre-partitioning {dataset.n_objects} categorical records onto {n_nodes} nodes")
+
+    partitioner = MultiGranularPartitioner(n_partitions=n_nodes, random_state=0)
+    plan = partitioner.fit_partition(dataset)
+    print(f"MGCPL granularities available: {plan.kappa}")
+    print(f"Granularity used for packing:  {plan.granularity_used} micro-clusters")
+    print(f"Partition sizes: {plan.sizes().tolist()}")
+
+    rng = np.random.default_rng(0)
+    random_assignment = rng.integers(0, n_nodes, dataset.n_objects)
+
+    guided_locality = intra_partition_similarity(dataset, plan.assignments)
+    random_locality = intra_partition_similarity(dataset, random_assignment)
+    print(f"\nIntra-partition similarity (locality preserved):")
+    print(f"  MCDC-guided partitioning: {guided_locality:.3f}")
+    print(f"  random sharding:          {random_locality:.3f}")
+    print(f"Load balance (1 = perfect): "
+          f"guided {load_balance(plan.assignments, n_nodes):.3f}, "
+          f"random {load_balance(random_assignment, n_nodes):.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Enhance an existing categorical clusterer with the MCDC encoding.
+
+The paper's MCDC+GUDMM and MCDC+FKMAWCW variants apply existing clustering
+algorithms to the multi-granular encoding produced by MGCPL instead of the
+raw data.  This example measures that enhancement on a benchmark data set.
+
+Run with ``python examples/enhance_existing_clusterer.py``.
+"""
+
+from repro.baselines import FKMAWCW, GUDMM
+from repro.core import MCDCEncoder
+from repro.data.uci import load_congressional
+from repro.metrics import evaluate_clustering
+
+
+def main() -> None:
+    dataset = load_congressional()
+    k = dataset.n_clusters_true
+    print(f"Data set: {dataset.name}  n={dataset.n_objects}  d={dataset.n_features}  k*={k}")
+
+    encoder = MCDCEncoder(random_state=0).fit(dataset)
+    encoded = encoder.transform_dataset()
+    print(f"MGCPL encoding: {encoded.n_features} granularity levels "
+          f"(kappa = {encoder.kappa_})\n")
+
+    for name, factory in [
+        ("GUDMM", lambda: GUDMM(k, n_init=3, random_state=0)),
+        ("FKMAWCW", lambda: FKMAWCW(k, n_init=3, random_state=0)),
+    ]:
+        raw_scores = evaluate_clustering(dataset.labels, factory().fit_predict(dataset))
+        enhanced_scores = evaluate_clustering(dataset.labels, factory().fit_predict(encoded))
+        print(f"{name:>8}  on raw data:       "
+              + "  ".join(f"{i}={raw_scores[i]:.3f}" for i in raw_scores))
+        print(f"{'MCDC+' + name:>8}  on MCDC encoding:  "
+              + "  ".join(f"{i}={enhanced_scores[i]:.3f}" for i in enhanced_scores))
+        print()
+
+
+if __name__ == "__main__":
+    main()

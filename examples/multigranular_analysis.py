@@ -1,0 +1,38 @@
+"""Explore the nested multi-granular cluster structure of categorical data.
+
+Generates a data set with a known nested structure (3 coarse clusters, each
+made of 3 fine clusters), runs MGCPL, and shows how the learned granularity
+levels line up with both the fine and the coarse ground truth — the
+phenomenon of paper Fig. 2 and the analysis of Fig. 5.
+
+Run with ``python examples/multigranular_analysis.py``.
+"""
+
+from repro.core import MGCPL
+from repro.data.generators import make_nested_clusters
+from repro.metrics import adjusted_rand_index
+
+
+def main() -> None:
+    dataset = make_nested_clusters(
+        n_objects=1200, n_features=8, n_coarse=3, fine_per_coarse=3, random_state=0
+    )
+    fine_truth = dataset.fine_labels
+    coarse_truth = dataset.labels
+    print("Nested synthetic data: 9 fine clusters nested inside 3 coarse clusters")
+
+    mgcpl = MGCPL(random_state=0).fit(dataset)
+    print(f"MGCPL initial k0 = {mgcpl.result_.initial_k}")
+    print(f"{'level':>5}  {'k':>4}  {'ARI vs fine':>12}  {'ARI vs coarse':>14}")
+    for level in mgcpl.result_.levels:
+        ari_fine = adjusted_rand_index(fine_truth, level.labels)
+        ari_coarse = adjusted_rand_index(coarse_truth, level.labels)
+        print(f"{level.index:>5}  {level.n_clusters:>4}  {ari_fine:>12.3f}  {ari_coarse:>14.3f}")
+
+    print("\nFiner levels align with the fine ground truth, coarser levels with the")
+    print("coarse ground truth: MGCPL exposes both granularities of the same data,")
+    print("which is exactly the multi-granular cluster effect the paper describes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` works in offline environments whose tooling lacks
+the ``wheel`` package required for PEP 660 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

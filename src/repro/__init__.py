@@ -1,0 +1,29 @@
+"""repro — reproduction of "Robust Categorical Data Clustering Guided by
+Multi-Granular Competitive Learning" (ICDCS 2024).
+
+Public API highlights
+---------------------
+* :class:`repro.core.MCDC` — the full clustering pipeline (MGCPL + CAME).
+* :class:`repro.core.MGCPL` — multi-granular competitive penalization learning.
+* :class:`repro.core.CAME` — aggregation of the multi-granular encoding.
+* :class:`repro.core.MCDCEncoder` — expose the encoding to other clusterers.
+* :mod:`repro.baselines` — k-modes, ROCK, WOCIL, GUDMM, FKMAWCW, ADC.
+* :mod:`repro.data` — data set container, generators and the UCI benchmarks.
+* :mod:`repro.metrics` — ACC, ARI, AMI, FM validity indices.
+* :mod:`repro.distributed` — MCDC-guided data/node pre-partitioning.
+* :mod:`repro.experiments` — reproduction of every table and figure.
+"""
+
+from repro.core import CAME, MCDC, MCDCEncoder, MGCPL
+from repro.data import CategoricalDataset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MCDC",
+    "MGCPL",
+    "CAME",
+    "MCDCEncoder",
+    "CategoricalDataset",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Baseline categorical clustering algorithms compared against MCDC (Table III)."""
+
+from repro.baselines.adc import ADC
+from repro.baselines.fkmawcw import FKMAWCW
+from repro.baselines.gudmm import GUDMM
+from repro.baselines.hierarchical import AgglomerativeCategorical
+from repro.baselines.kmodes import KModes
+from repro.baselines.rock import ROCK
+from repro.baselines.wocil import WOCIL
+
+__all__ = [
+    "KModes",
+    "ROCK",
+    "WOCIL",
+    "GUDMM",
+    "FKMAWCW",
+    "ADC",
+    "AgglomerativeCategorical",
+]

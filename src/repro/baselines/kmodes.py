@@ -1,0 +1,149 @@
+"""k-modes clustering (Huang, 1997).
+
+The classic partitional algorithm for categorical data: cluster centres are
+*modes* (the per-feature most frequent value among members), objects are
+assigned to the mode with the smallest Hamming distance, and the two steps
+alternate until the partition stops changing.  Multiple random restarts are
+used and the solution with the lowest total within-cluster Hamming cost is
+kept.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.base import ArrayOrDataset, BaseClusterer, coerce_codes, compact_labels
+from repro.distance.hamming import hamming_matrix
+from repro.utils.rng import RandomState, spawn_rngs
+from repro.utils.validation import check_positive_int
+
+
+class KModes(BaseClusterer):
+    """k-modes clustering with Hamming distance and frequency-based mode updates.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of sought clusters ``k``.
+    n_init:
+        Number of random restarts; the lowest-cost run is kept.
+    max_iter:
+        Maximum alternating iterations per restart.
+    init:
+        ``"random"`` selects k distinct objects as initial modes; ``"huang"``
+        samples initial modes from the per-feature value distributions.
+    random_state:
+        Seed or generator.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        n_init: int = 10,
+        max_iter: int = 100,
+        init: str = "random",
+        random_state: RandomState = None,
+    ) -> None:
+        self.n_clusters = check_positive_int(n_clusters, "n_clusters")
+        self.n_init = check_positive_int(n_init, "n_init")
+        self.max_iter = check_positive_int(max_iter, "max_iter")
+        if init not in ("random", "huang"):
+            raise ValueError(f"init must be 'random' or 'huang', got {init!r}")
+        self.init = init
+        self.random_state = random_state
+
+    def fit(self, X: ArrayOrDataset) -> "KModes":
+        codes, n_categories = coerce_codes(X)
+        n = codes.shape[0]
+        k = min(self.n_clusters, n)
+
+        best: Optional[Tuple[float, np.ndarray, np.ndarray, int]] = None
+        for rng in spawn_rngs(self.random_state, self.n_init):
+            labels, modes, cost, n_iter = self._single_run(codes, n_categories, k, rng)
+            if best is None or cost < best[0]:
+                best = (cost, labels, modes, n_iter)
+
+        assert best is not None
+        cost, labels, modes, n_iter = best
+        self.labels_ = compact_labels(labels)
+        self.n_clusters_ = int(np.unique(self.labels_).size)
+        self.modes_ = modes
+        self.cost_ = float(cost)
+        self.n_iter_ = int(n_iter)
+        return self
+
+    # ------------------------------------------------------------------ #
+    def _init_modes(self, codes, n_categories, k, rng) -> np.ndarray:
+        if self.init == "random":
+            idx = rng.choice(codes.shape[0], size=k, replace=False)
+            return codes[idx].copy()
+        # Huang initialisation: sample each mode value from the marginal
+        # value distribution of the corresponding feature.
+        d = codes.shape[1]
+        modes = np.zeros((k, d), dtype=np.int64)
+        for r in range(d):
+            col = codes[:, r]
+            col = col[col >= 0]
+            values, counts = np.unique(col, return_counts=True)
+            probs = counts / counts.sum()
+            modes[:, r] = rng.choice(values, size=k, p=probs)
+        return modes
+
+    def _single_run(self, codes, n_categories, k, rng) -> Tuple[np.ndarray, np.ndarray, float, int]:
+        n, d = codes.shape
+        modes = self._init_modes(codes, n_categories, k, rng)
+        labels = np.full(n, -1, dtype=np.int64)
+
+        n_iter = 0
+        for iteration in range(self.max_iter):
+            n_iter = iteration + 1
+            distances = hamming_matrix(codes, modes)
+            new_labels = distances.argmin(axis=1).astype(np.int64)
+            new_labels = self._repair_empty(new_labels, distances, k, rng)
+            if np.array_equal(new_labels, labels):
+                break
+            labels = new_labels
+            modes = self._update_modes(codes, labels, n_categories, modes, k)
+
+        distances = hamming_matrix(codes, modes)
+        cost = float(distances[np.arange(n), labels].sum())
+        return labels, modes, cost, n_iter
+
+    @staticmethod
+    def _update_modes(codes, labels, n_categories, previous_modes, k) -> np.ndarray:
+        d = codes.shape[1]
+        modes = previous_modes.copy()
+        for l in range(k):
+            members = codes[labels == l]
+            if members.shape[0] == 0:
+                continue
+            for r in range(d):
+                col = members[:, r]
+                col = col[col >= 0]
+                if col.size == 0:
+                    continue
+                counts = np.bincount(col, minlength=n_categories[r])
+                modes[l, r] = int(np.argmax(counts))
+        return modes
+
+    @staticmethod
+    def _repair_empty(labels, distances, k, rng) -> np.ndarray:
+        """Re-seed empty clusters with the objects farthest from their current mode."""
+        labels = labels.copy()
+        counts = np.bincount(labels, minlength=k)
+        empties = np.flatnonzero(counts == 0)
+        if empties.size == 0:
+            return labels
+        assigned_cost = distances[np.arange(labels.shape[0]), labels]
+        order = np.argsort(-assigned_cost)
+        cursor = 0
+        for cluster in empties:
+            while cursor < order.size and np.bincount(labels, minlength=k)[labels[order[cursor]]] <= 1:
+                cursor += 1
+            if cursor >= order.size:
+                break
+            labels[order[cursor]] = cluster
+            cursor += 1
+        return labels

@@ -1,0 +1,171 @@
+"""ROCK: a RObust Clustering algorithm using linKs (Guha, Rastogi & Shim, 2000).
+
+ROCK is an agglomerative algorithm for categorical data.  Two objects are
+*neighbours* when their Jaccard similarity (over the set of their
+(feature, value) pairs) is at least ``theta``; the number of common
+neighbours between two clusters is their *link* count, and clusters are
+repeatedly merged by the goodness measure
+
+    g(Ci, Cj) = links(Ci, Cj) / ((ni + nj)^f - ni^f - nj^f),   f = 1 + 2 (1-theta)/(1+theta)
+
+until the requested number of clusters remains.  For data sets larger than
+``max_sample`` a random sample is clustered and the remaining objects are
+assigned to the cluster with the most neighbours in the sample — the same
+outlier-robust labelling phase the original paper uses for scalability.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.base import ArrayOrDataset, BaseClusterer, coerce_codes, compact_labels
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_positive_int, check_probability
+
+
+class ROCK(BaseClusterer):
+    """Link-based agglomerative clustering for categorical data.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters to stop the merging at.
+    theta:
+        Neighbourhood threshold on the Jaccard similarity (paper default 0.5).
+    max_sample:
+        Maximum number of objects clustered directly; larger data sets are
+        subsampled and the rest labelled afterwards.
+    random_state:
+        Seed for the sampling phase.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        theta: float = 0.5,
+        max_sample: int = 800,
+        random_state: RandomState = None,
+    ) -> None:
+        self.n_clusters = check_positive_int(n_clusters, "n_clusters")
+        self.theta = check_probability(theta, "theta")
+        self.max_sample = check_positive_int(max_sample, "max_sample")
+        self.random_state = random_state
+
+    def fit(self, X: ArrayOrDataset) -> "ROCK":
+        codes, _ = coerce_codes(X)
+        n = codes.shape[0]
+        rng = ensure_rng(self.random_state)
+
+        if n > self.max_sample:
+            sample_idx = np.sort(rng.choice(n, size=self.max_sample, replace=False))
+        else:
+            sample_idx = np.arange(n)
+        sample = codes[sample_idx]
+
+        sample_labels = self._cluster_sample(sample)
+        labels = self._label_remaining(codes, sample, sample_idx, sample_labels)
+
+        self.labels_ = compact_labels(labels)
+        self.n_clusters_ = int(np.unique(self.labels_).size)
+        return self
+
+    # ------------------------------------------------------------------ #
+    def _jaccard_similarity(self, codes: np.ndarray) -> np.ndarray:
+        """Pairwise Jaccard similarity over (feature, value) sets.
+
+        With one value per feature the Jaccard similarity of two objects is
+        ``m / (2d - m)`` where ``m`` is the number of matching features.
+        """
+        n, d = codes.shape
+        matches = np.zeros((n, n), dtype=np.float64)
+        for i in range(n):
+            matches[i, i:] = np.count_nonzero(codes[i:] == codes[i], axis=1)
+            matches[i:, i] = matches[i, i:]
+        return matches / (2.0 * d - matches)
+
+    def _cluster_sample(self, codes: np.ndarray) -> np.ndarray:
+        """Agglomerative merging of the sample by the ROCK goodness measure.
+
+        The link matrix between the current clusters is kept as a dense numpy
+        array so the best merge can be found with one vectorised pass per
+        merge step, which keeps the whole phase at O(m^2) per merge for a
+        sample of size m.
+        """
+        n = codes.shape[0]
+        k = min(self.n_clusters, n)
+        similarity = self._jaccard_similarity(codes)
+        adjacency = (similarity >= self.theta).astype(np.float64)
+        np.fill_diagonal(adjacency, 0.0)
+        links = adjacency @ adjacency  # common-neighbour counts
+        np.fill_diagonal(links, 0.0)
+
+        f_exponent = 1.0 + 2.0 * (1.0 - self.theta) / (1.0 + self.theta)
+
+        active = np.ones(n, dtype=bool)
+        sizes = np.ones(n, dtype=np.float64)
+        members: List[List[int]] = [[i] for i in range(n)]
+
+        def size_term(sa: np.ndarray, sb: np.ndarray) -> np.ndarray:
+            return (sa + sb) ** f_exponent - sa**f_exponent - sb**f_exponent
+
+        n_active = n
+        while n_active > k:
+            idx = np.flatnonzero(active)
+            link_block = links[np.ix_(idx, idx)]
+            if link_block.max() <= 0:
+                # No remaining pair shares any links: stop merging early
+                # (ROCK treats the leftovers as outlier clusters).
+                break
+            denom = size_term(sizes[idx][:, None], sizes[idx][None, :])
+            with np.errstate(divide="ignore", invalid="ignore"):
+                goodness = np.where((link_block > 0) & (denom > 0), link_block / denom, -np.inf)
+            np.fill_diagonal(goodness, -np.inf)
+            flat = int(np.argmax(goodness))
+            a_local, b_local = divmod(flat, goodness.shape[1])
+            if not np.isfinite(goodness[a_local, b_local]):
+                break
+            a, b = int(idx[a_local]), int(idx[b_local])
+
+            # Merge b into a.
+            links[a, :] += links[b, :]
+            links[:, a] += links[:, b]
+            links[a, a] = 0.0
+            links[b, :] = 0.0
+            links[:, b] = 0.0
+            sizes[a] += sizes[b]
+            members[a].extend(members[b])
+            members[b] = []
+            active[b] = False
+            n_active -= 1
+
+        labels = np.empty(n, dtype=np.int64)
+        for new_id, cluster in enumerate(np.flatnonzero(active)):
+            labels[members[cluster]] = new_id
+        return labels
+
+    def _label_remaining(
+        self,
+        codes: np.ndarray,
+        sample: np.ndarray,
+        sample_idx: np.ndarray,
+        sample_labels: np.ndarray,
+    ) -> np.ndarray:
+        n, d = codes.shape
+        labels = np.full(n, -1, dtype=np.int64)
+        labels[sample_idx] = sample_labels
+        remaining = np.setdiff1d(np.arange(n), sample_idx, assume_unique=False)
+        if remaining.size == 0:
+            return labels
+        k = int(sample_labels.max()) + 1
+        for i in remaining:
+            matches = np.count_nonzero(sample == codes[i], axis=1)
+            jaccard = matches / (2.0 * d - matches)
+            neighbour = jaccard >= self.theta
+            if neighbour.any():
+                votes = np.bincount(sample_labels[neighbour], minlength=k)
+                labels[i] = int(np.argmax(votes))
+            else:
+                labels[i] = int(sample_labels[np.argmax(jaccard)])
+        return labels

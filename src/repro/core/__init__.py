@@ -1,0 +1,24 @@
+"""The paper's primary contribution: MGCPL, CAME and the MCDC pipeline."""
+
+from repro.core.base import BaseClusterer, coerce_codes
+from repro.core.came import CAME
+from repro.core.competitive import CompetitiveLearningClusterer
+from repro.core.mcdc import MCDC, MCDCEncoder
+from repro.core.mgcpl import MGCPL, MGCPLResult
+from repro.core.ablations import MCDC1, MCDC2, MCDC3, MCDC4, make_ablation
+
+__all__ = [
+    "BaseClusterer",
+    "coerce_codes",
+    "CompetitiveLearningClusterer",
+    "MGCPL",
+    "MGCPLResult",
+    "CAME",
+    "MCDC",
+    "MCDCEncoder",
+    "MCDC1",
+    "MCDC2",
+    "MCDC3",
+    "MCDC4",
+    "make_ablation",
+]

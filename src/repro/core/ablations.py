@@ -1,0 +1,183 @@
+"""Ablated versions of MCDC used in the paper's ablation study (Sec. IV-D, Fig. 4).
+
+The paper peels MCDC apart into four reduced versions:
+
+* **MCDC4** — CAME's granularity-level weighting (Eqs. 21-22) replaced by
+  fixed identical weights.
+* **MCDC3** — the whole CAME module removed; the coarsest partition learned
+  by MGCPL (``k_sigma`` clusters) is used directly as the clustering result.
+* **MCDC2** — MGCPL's multi-granular mechanism replaced by the conventional
+  competitive learning of Sec. II-B, initialised with ``k* + 2`` clusters.
+* **MCDC1** — the competitive learning mechanism removed as well; clustering
+  reduces to iterative partitioning with the object-cluster similarity of
+  Sec. II-A and a given ``k*``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.base import ArrayOrDataset, BaseClusterer, coerce_codes, compact_labels
+from repro.core.competitive import CompetitiveLearningClusterer
+from repro.core.mcdc import MCDC
+from repro.core.mgcpl import MGCPL
+from repro.distance.object_cluster import ClusterFrequencyTable
+from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+from repro.utils.validation import check_positive_int
+
+
+class MCDC4(MCDC):
+    """MCDC with CAME's level-weighting disabled (identical weights)."""
+
+    def __init__(
+        self,
+        n_clusters: int,
+        k0: Optional[int] = None,
+        learning_rate: float = 0.03,
+        n_init: int = 10,
+        update_mode: str = "batch",
+        random_state: RandomState = None,
+    ) -> None:
+        super().__init__(
+            n_clusters=n_clusters,
+            k0=k0,
+            learning_rate=learning_rate,
+            weighted_aggregation=False,
+            n_init=n_init,
+            update_mode=update_mode,
+            random_state=random_state,
+        )
+
+
+class MCDC3(BaseClusterer):
+    """MCDC without CAME: the coarsest MGCPL partition is the clustering result.
+
+    ``n_clusters`` is accepted for interface compatibility but is *not* used:
+    the number of clusters is whatever ``k_sigma`` MGCPL converges to.
+    """
+
+    def __init__(
+        self,
+        n_clusters: Optional[int] = None,
+        k0: Optional[int] = None,
+        learning_rate: float = 0.03,
+        update_mode: str = "batch",
+        random_state: RandomState = None,
+    ) -> None:
+        self.n_clusters = n_clusters
+        self.k0 = k0
+        self.learning_rate = learning_rate
+        self.update_mode = update_mode
+        self.random_state = random_state
+
+    def fit(self, X: ArrayOrDataset) -> "MCDC3":
+        self.mgcpl_ = MGCPL(
+            k0=self.k0,
+            learning_rate=self.learning_rate,
+            update_mode=self.update_mode,
+            random_state=self.random_state,
+        ).fit(X)
+        self.labels_ = self.mgcpl_.labels_
+        self.n_clusters_ = self.mgcpl_.n_clusters_
+        self.kappa_ = self.mgcpl_.kappa_
+        return self
+
+
+class MCDC2(BaseClusterer):
+    """Conventional competitive learning (Sec. II-B) initialised with ``k* + 2`` clusters."""
+
+    def __init__(
+        self,
+        n_clusters: int,
+        extra_clusters: int = 2,
+        learning_rate: float = 0.03,
+        random_state: RandomState = None,
+    ) -> None:
+        self.n_clusters = check_positive_int(n_clusters, "n_clusters")
+        self.extra_clusters = check_positive_int(extra_clusters, "extra_clusters", minimum=0)
+        self.learning_rate = learning_rate
+        self.random_state = random_state
+
+    def fit(self, X: ArrayOrDataset) -> "MCDC2":
+        clusterer = CompetitiveLearningClusterer(
+            n_initial_clusters=self.n_clusters + self.extra_clusters,
+            learning_rate=self.learning_rate,
+            random_state=self.random_state,
+        )
+        self.labels_ = clusterer.fit_predict(X)
+        self.n_clusters_ = clusterer.n_clusters_
+        self.base_ = clusterer
+        return self
+
+
+class MCDC1(BaseClusterer):
+    """Iterative partitioning with the object-cluster similarity of Sec. II-A and given ``k*``.
+
+    This is k-modes-style alternating optimisation where the assignment step
+    maximises the frequency-based object-cluster similarity (Eqs. 1-2) rather
+    than minimising the Hamming distance to a mode.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        n_init: int = 10,
+        max_iter: int = 100,
+        random_state: RandomState = None,
+    ) -> None:
+        self.n_clusters = check_positive_int(n_clusters, "n_clusters")
+        self.n_init = check_positive_int(n_init, "n_init")
+        self.max_iter = check_positive_int(max_iter, "max_iter")
+        self.random_state = random_state
+
+    def fit(self, X: ArrayOrDataset) -> "MCDC1":
+        codes, n_categories = coerce_codes(X)
+        n, d = codes.shape
+        k = min(self.n_clusters, n)
+
+        best_labels: Optional[np.ndarray] = None
+        best_score = -np.inf
+        for rng in spawn_rngs(self.random_state, self.n_init):
+            labels, score = self._single_run(codes, n_categories, k, rng)
+            if score > best_score:
+                best_score = score
+                best_labels = labels
+
+        assert best_labels is not None
+        self.labels_ = compact_labels(best_labels)
+        self.n_clusters_ = int(np.unique(self.labels_).size)
+        self.score_ = float(best_score)
+        return self
+
+    def _single_run(self, codes, n_categories, k, rng) -> tuple:
+        n = codes.shape[0]
+        seeds = rng.choice(n, size=k, replace=False)
+        labels = np.full(n, -1, dtype=np.int64)
+        labels[seeds] = np.arange(k)
+        table = ClusterFrequencyTable.from_labels(codes, labels, k, n_categories)
+
+        for _ in range(self.max_iter):
+            sims = table.similarity_matrix()
+            new_labels = sims.argmax(axis=1).astype(np.int64)
+            if np.array_equal(new_labels, labels):
+                break
+            labels = new_labels
+            table.rebuild(labels)
+        sims = table.similarity_matrix()
+        score = float(sims[np.arange(n), labels].sum())
+        return labels, score
+
+
+def make_ablation(version: int, n_clusters: int, random_state: RandomState = None, **kwargs):
+    """Factory for the ablated versions: ``version`` in {1, 2, 3, 4} (paper naming)."""
+    if version == 4:
+        return MCDC4(n_clusters=n_clusters, random_state=random_state, **kwargs)
+    if version == 3:
+        return MCDC3(n_clusters=n_clusters, random_state=random_state, **kwargs)
+    if version == 2:
+        return MCDC2(n_clusters=n_clusters, random_state=random_state, **kwargs)
+    if version == 1:
+        return MCDC1(n_clusters=n_clusters, random_state=random_state, **kwargs)
+    raise ValueError(f"Unknown ablation version {version}; expected 1-4")

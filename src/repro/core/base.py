@@ -1,0 +1,67 @@
+"""Common clusterer interface shared by the core method and every baseline."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.data.dataset import CategoricalDataset
+from repro.utils.validation import check_array_2d
+
+ArrayOrDataset = Union[np.ndarray, CategoricalDataset]
+
+
+def coerce_codes(X: ArrayOrDataset) -> Tuple[np.ndarray, List[int]]:
+    """Accept either a :class:`CategoricalDataset` or a coded array.
+
+    Returns the ``(n, d)`` integer code matrix and the per-feature vocabulary
+    sizes.  Raw arrays are assumed to already be integer-coded with ``-1``
+    marking missing values.
+    """
+    if isinstance(X, CategoricalDataset):
+        return X.codes, list(X.n_categories)
+    codes = check_array_2d(X, "X", dtype=np.int64)
+    n_categories = [int(max(codes[:, r].max(), 0)) + 1 for r in range(codes.shape[1])]
+    return codes, n_categories
+
+
+class BaseClusterer(ABC):
+    """Abstract base class: ``fit`` computes ``labels_`` over the training data.
+
+    Subclasses must set ``labels_`` (an ``(n,)`` integer vector) and
+    ``n_clusters_`` (the number of clusters actually produced) during
+    :meth:`fit`.  ``fit_predict`` is provided for convenience.
+    """
+
+    labels_: Optional[np.ndarray] = None
+    n_clusters_: Optional[int] = None
+
+    @abstractmethod
+    def fit(self, X: ArrayOrDataset) -> "BaseClusterer":
+        """Cluster the data set and populate ``labels_`` / ``n_clusters_``."""
+
+    def fit_predict(self, X: ArrayOrDataset) -> np.ndarray:
+        """Fit and return the cluster labels."""
+        self.fit(X)
+        assert self.labels_ is not None
+        return self.labels_
+
+    def _check_fitted(self) -> None:
+        if self.labels_ is None:
+            raise RuntimeError(f"{type(self).__name__} has not been fitted yet")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        params = ", ".join(
+            f"{key}={value!r}"
+            for key, value in sorted(vars(self).items())
+            if not key.endswith("_") and not key.startswith("_")
+        )
+        return f"{type(self).__name__}({params})"
+
+
+def compact_labels(labels: np.ndarray) -> np.ndarray:
+    """Remap arbitrary cluster ids to the contiguous range ``0..k-1`` (order preserving)."""
+    _, compacted = np.unique(np.asarray(labels, dtype=np.int64), return_inverse=True)
+    return compacted.astype(np.int64)

@@ -1,0 +1,193 @@
+"""CAME: Cluster Aggregation based on MGCPL Encoding (paper Algorithm 2).
+
+CAME treats the multi-granular partitions learned by MGCPL as a new
+``(n, sigma)`` categorical representation ``Gamma`` (one feature per
+granularity level) and clusters it with a feature-weighted k-modes procedure:
+objects are assigned to the cluster whose mode is closest under the weighted
+Hamming distance (Eq. 20), and the weight ``theta_r`` of each granularity
+level is refreshed from the intra-cluster similarity it contributes
+(Eqs. 21-22), so that the level whose partition agrees best with the emerging
+clustering dominates the aggregation.  The alternating optimisation minimises
+the objective of Eq. 19 and converges in a finite number of iterations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.base import ArrayOrDataset, BaseClusterer, coerce_codes, compact_labels
+from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+from repro.utils.validation import check_positive_int
+
+
+class CAME(BaseClusterer):
+    """Feature-weighted k-modes aggregation of a multi-granular encoding.
+
+    Parameters
+    ----------
+    n_clusters:
+        The sought number of clusters ``k`` (typically ``k*``).
+    weighted:
+        Whether to learn the granularity-level weights ``Theta`` (Eqs. 21-22).
+        With ``weighted=False`` all levels keep identical weights — this is
+        the MCDC4 ablation of the paper.
+    n_init:
+        Number of random restarts; the solution with the lowest objective
+        (Eq. 19) is kept.
+    max_iter:
+        Maximum number of alternating iterations per restart.
+    random_state:
+        Seed or generator for mode initialisation.
+
+    Attributes
+    ----------
+    labels_:
+        Final partition ``Q`` as a label vector.
+    feature_weights_:
+        The learned level weights ``Theta`` (shape ``(sigma,)``).
+    modes_:
+        Cluster modes ``Z`` over the encoding (shape ``(k, sigma)``).
+    objective_:
+        Final value of the objective ``P(Q, Theta)`` (Eq. 19).
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        weighted: bool = True,
+        n_init: int = 10,
+        max_iter: int = 100,
+        random_state: RandomState = None,
+    ) -> None:
+        self.n_clusters = check_positive_int(n_clusters, "n_clusters")
+        self.weighted = bool(weighted)
+        self.n_init = check_positive_int(n_init, "n_init")
+        self.max_iter = check_positive_int(max_iter, "max_iter")
+        self.random_state = random_state
+
+    # ------------------------------------------------------------------ #
+    def fit(self, X: ArrayOrDataset) -> "CAME":
+        """Cluster the encoding ``Gamma`` (an ``(n, sigma)`` label matrix)."""
+        gamma, _ = coerce_codes(X)
+        n, sigma = gamma.shape
+        if self.n_clusters > n:
+            raise ValueError(f"n_clusters={self.n_clusters} exceeds number of objects {n}")
+
+        best: Optional[Tuple[float, np.ndarray, np.ndarray, np.ndarray, int]] = None
+        for rng in spawn_rngs(self.random_state, self.n_init):
+            labels, theta, modes, objective, n_iter = self._single_run(gamma, rng)
+            if best is None or objective < best[0]:
+                best = (objective, labels, theta, modes, n_iter)
+
+        assert best is not None
+        objective, labels, theta, modes, n_iter = best
+        self.labels_ = labels
+        self.n_clusters_ = int(np.unique(labels).size)
+        self.feature_weights_ = theta
+        self.modes_ = modes
+        self.objective_ = float(objective)
+        self.n_iter_ = int(n_iter)
+        return self
+
+    # ------------------------------------------------------------------ #
+    def _single_run(
+        self, gamma: np.ndarray, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, float, int]:
+        n, sigma = gamma.shape
+        k = self.n_clusters
+        theta = np.full(sigma, 1.0 / sigma)
+
+        modes = self._initial_modes(gamma, rng)
+        labels = self._assign(gamma, modes, theta)
+        labels = self._repair_empty(gamma, labels, rng)
+
+        n_iter = 0
+        for iteration in range(self.max_iter):
+            n_iter = iteration + 1
+            modes = self._update_modes(gamma, labels)
+            if self.weighted:
+                theta = self._update_theta(gamma, labels, modes)
+            new_labels = self._assign(gamma, modes, theta)
+            new_labels = self._repair_empty(gamma, new_labels, rng)
+            if np.array_equal(new_labels, labels):
+                labels = new_labels
+                break
+            labels = new_labels
+
+        modes = self._update_modes(gamma, labels)
+        objective = self._objective(gamma, labels, modes, theta)
+        return compact_labels(labels), theta, modes, objective, n_iter
+
+    def _initial_modes(self, gamma: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Initialise modes from distinct rows of the encoding when possible."""
+        unique_rows = np.unique(gamma, axis=0)
+        k = self.n_clusters
+        if unique_rows.shape[0] >= k:
+            idx = rng.choice(unique_rows.shape[0], size=k, replace=False)
+            return unique_rows[idx].copy()
+        idx = rng.choice(gamma.shape[0], size=k, replace=gamma.shape[0] < k)
+        return gamma[idx].copy()
+
+    @staticmethod
+    def _distances(gamma: np.ndarray, modes: np.ndarray, theta: np.ndarray) -> np.ndarray:
+        """Weighted Hamming distances of every object to every mode: ``(n, k)``."""
+        n, sigma = gamma.shape
+        k = modes.shape[0]
+        dist = np.zeros((n, k), dtype=np.float64)
+        for r in range(sigma):
+            mismatch = gamma[:, r][:, None] != modes[:, r][None, :]
+            dist += theta[r] * mismatch
+        return dist
+
+    def _assign(self, gamma: np.ndarray, modes: np.ndarray, theta: np.ndarray) -> np.ndarray:
+        """Assignment step (Eq. 20)."""
+        return np.argmin(self._distances(gamma, modes, theta), axis=1).astype(np.int64)
+
+    def _repair_empty(
+        self, gamma: np.ndarray, labels: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Keep all ``k`` clusters populated by re-seeding empty ones with random objects."""
+        labels = labels.copy()
+        k = self.n_clusters
+        counts = np.bincount(labels, minlength=k)
+        for cluster in np.flatnonzero(counts == 0):
+            donors = np.flatnonzero(np.bincount(labels, minlength=k)[labels] > 1)
+            if donors.size == 0:
+                break
+            chosen = rng.choice(donors)
+            labels[chosen] = cluster
+        return labels
+
+    def _update_modes(self, gamma: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Mode update: per cluster and level, the most frequent label value."""
+        n, sigma = gamma.shape
+        k = self.n_clusters
+        modes = np.zeros((k, sigma), dtype=np.int64)
+        for l in range(k):
+            members = gamma[labels == l]
+            if members.shape[0] == 0:
+                continue
+            for r in range(sigma):
+                values, counts = np.unique(members[:, r], return_counts=True)
+                modes[l, r] = values[np.argmax(counts)]
+        return modes
+
+    @staticmethod
+    def _update_theta(gamma: np.ndarray, labels: np.ndarray, modes: np.ndarray) -> np.ndarray:
+        """Level-weight update (Eqs. 21-22): weight by intra-cluster agreement."""
+        sigma = gamma.shape[1]
+        matches = (gamma == modes[labels]).sum(axis=0).astype(np.float64)  # I_r
+        total = matches.sum()
+        if total <= 0:
+            return np.full(sigma, 1.0 / sigma)
+        return matches / total
+
+    @staticmethod
+    def _objective(
+        gamma: np.ndarray, labels: np.ndarray, modes: np.ndarray, theta: np.ndarray
+    ) -> float:
+        """The CAME objective ``P(Q, Theta)`` (Eq. 19)."""
+        mismatches = (gamma != modes[labels]).astype(np.float64)
+        return float((mismatches * theta[None, :]).sum())

@@ -1,0 +1,21 @@
+"""Categorical data substrate: dataset container, encoders, generators, I/O, UCI data sets."""
+
+from repro.data.dataset import CategoricalDataset
+from repro.data.encoders import FrequencyEncoder, OneHotEncoder, OrdinalEncoder
+from repro.data.generators import (
+    make_categorical_clusters,
+    make_nested_clusters,
+    make_syn_d,
+    make_syn_n,
+)
+
+__all__ = [
+    "CategoricalDataset",
+    "OneHotEncoder",
+    "OrdinalEncoder",
+    "FrequencyEncoder",
+    "make_categorical_clusters",
+    "make_nested_clusters",
+    "make_syn_n",
+    "make_syn_d",
+]

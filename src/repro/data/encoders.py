@@ -1,0 +1,126 @@
+"""Encoders mapping categorical data to numeric representations.
+
+The paper's Introduction discusses the "encoding-based stream" of categorical
+clustering; these encoders implement the standard members of that stream so
+that examples and tests can contrast them with the MGCPL-based encoding
+(:class:`repro.core.mcdc.MCDCEncoder`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.data.dataset import CategoricalDataset
+
+
+class _FittedMixin:
+    """Small helper providing the fitted-state check."""
+
+    _fitted_attr = "_n_categories"
+
+    def _check_fitted(self) -> None:
+        if getattr(self, self._fitted_attr, None) is None:
+            raise RuntimeError(f"{type(self).__name__} must be fitted before transform()")
+
+
+class OneHotEncoder(_FittedMixin):
+    """One-hot (dummy) encoding: each category value becomes a binary column."""
+
+    def __init__(self) -> None:
+        self._n_categories: Optional[List[int]] = None
+        self._offsets: Optional[np.ndarray] = None
+
+    def fit(self, dataset: CategoricalDataset) -> "OneHotEncoder":
+        self._n_categories = list(dataset.n_categories)
+        self._offsets = np.concatenate([[0], np.cumsum(self._n_categories)])
+        return self
+
+    def transform(self, dataset: CategoricalDataset) -> np.ndarray:
+        """Return the ``(n, sum_r m_r)`` one-hot matrix; missing values map to all-zero blocks."""
+        self._check_fitted()
+        codes = dataset.codes
+        n, d = codes.shape
+        if d != len(self._n_categories):
+            raise ValueError(f"Expected {len(self._n_categories)} features, got {d}")
+        total = int(self._offsets[-1])
+        out = np.zeros((n, total), dtype=np.float64)
+        for r in range(d):
+            col = codes[:, r]
+            valid = col >= 0
+            out[np.flatnonzero(valid), self._offsets[r] + col[valid]] = 1.0
+        return out
+
+    def fit_transform(self, dataset: CategoricalDataset) -> np.ndarray:
+        return self.fit(dataset).transform(dataset)
+
+    @property
+    def n_output_features(self) -> int:
+        self._check_fitted()
+        return int(self._offsets[-1])
+
+
+class OrdinalEncoder(_FittedMixin):
+    """Integer (ordinal) encoding: the code matrix as floats, missing as NaN."""
+
+    def __init__(self) -> None:
+        self._n_categories: Optional[List[int]] = None
+
+    def fit(self, dataset: CategoricalDataset) -> "OrdinalEncoder":
+        self._n_categories = list(dataset.n_categories)
+        return self
+
+    def transform(self, dataset: CategoricalDataset) -> np.ndarray:
+        self._check_fitted()
+        if dataset.n_features != len(self._n_categories):
+            raise ValueError(
+                f"Expected {len(self._n_categories)} features, got {dataset.n_features}"
+            )
+        out = dataset.codes.astype(np.float64)
+        out[dataset.codes < 0] = np.nan
+        return out
+
+    def fit_transform(self, dataset: CategoricalDataset) -> np.ndarray:
+        return self.fit(dataset).transform(dataset)
+
+
+class FrequencyEncoder(_FittedMixin):
+    """Frequency encoding: each value is replaced by its empirical occurrence frequency.
+
+    Frequency encoding preserves the "how common is this value" information
+    that several categorical distance metrics rely on, while producing a dense
+    ``(n, d)`` numeric matrix.
+    """
+
+    def __init__(self) -> None:
+        self._n_categories: Optional[List[int]] = None
+        self._frequencies: Optional[List[np.ndarray]] = None
+
+    def fit(self, dataset: CategoricalDataset) -> "FrequencyEncoder":
+        self._n_categories = list(dataset.n_categories)
+        self._frequencies = []
+        for r in range(dataset.n_features):
+            col = dataset.codes[:, r]
+            valid = col[col >= 0]
+            counts = np.bincount(valid, minlength=self._n_categories[r]).astype(np.float64)
+            total = counts.sum()
+            self._frequencies.append(counts / total if total > 0 else counts)
+        return self
+
+    def transform(self, dataset: CategoricalDataset) -> np.ndarray:
+        self._check_fitted()
+        codes = dataset.codes
+        n, d = codes.shape
+        if d != len(self._n_categories):
+            raise ValueError(f"Expected {len(self._n_categories)} features, got {d}")
+        out = np.zeros((n, d), dtype=np.float64)
+        for r in range(d):
+            col = codes[:, r]
+            valid = col >= 0
+            out[valid, r] = self._frequencies[r][col[valid]]
+            out[~valid, r] = np.nan
+        return out
+
+    def fit_transform(self, dataset: CategoricalDataset) -> np.ndarray:
+        return self.fit(dataset).transform(dataset)

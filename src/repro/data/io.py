@@ -1,0 +1,99 @@
+"""Plain-text I/O for categorical data sets (CSV-style, UCI ``.data`` format)."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.data.dataset import CategoricalDataset
+
+PathLike = Union[str, Path]
+
+
+def load_csv(
+    path: PathLike,
+    label_column: Optional[int] = -1,
+    has_header: bool = False,
+    delimiter: str = ",",
+    name: Optional[str] = None,
+    missing_values: Sequence[str] = ("?", ""),
+) -> CategoricalDataset:
+    """Load a categorical data set from a delimited text file.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    label_column:
+        Index of the class-label column (negative indices allowed); ``None``
+        means the file has no labels.
+    has_header:
+        Whether the first row contains feature names.
+    missing_values:
+        Tokens interpreted as missing values.
+    """
+    path = Path(path)
+    rows: List[List[str]] = []
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh, delimiter=delimiter)
+        for row in reader:
+            if not row or all(not cell.strip() for cell in row):
+                continue
+            rows.append([cell.strip() for cell in row])
+    if not rows:
+        raise ValueError(f"{path} contains no data rows")
+
+    header: Optional[List[str]] = None
+    if has_header:
+        header = rows[0]
+        rows = rows[1:]
+        if not rows:
+            raise ValueError(f"{path} contains a header but no data rows")
+
+    n_columns = len(rows[0])
+    for i, row in enumerate(rows):
+        if len(row) != n_columns:
+            raise ValueError(f"Row {i} of {path} has {len(row)} columns, expected {n_columns}")
+
+    labels = None
+    feature_names = header
+    if label_column is not None:
+        label_idx = label_column % n_columns
+        labels = [row[label_idx] for row in rows]
+        rows = [[cell for j, cell in enumerate(row) if j != label_idx] for row in rows]
+        if header is not None:
+            feature_names = [h for j, h in enumerate(header) if j != label_idx]
+
+    missing = set(missing_values)
+    values = [[None if cell in missing else cell for cell in row] for row in rows]
+    return CategoricalDataset.from_values(
+        values,
+        labels=labels,
+        feature_names=feature_names,
+        name=name or path.stem,
+    )
+
+
+def save_csv(
+    dataset: CategoricalDataset,
+    path: PathLike,
+    include_labels: bool = True,
+    include_header: bool = True,
+    delimiter: str = ",",
+) -> None:
+    """Write a categorical data set to a delimited text file (labels last)."""
+    path = Path(path)
+    values = dataset.to_values()
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh, delimiter=delimiter)
+        if include_header:
+            header = list(dataset.feature_names)
+            if include_labels and dataset.labels is not None:
+                header.append("class")
+            writer.writerow(header)
+        for i in range(dataset.n_objects):
+            row = ["?" if v is None else str(v) for v in values[i]]
+            if include_labels and dataset.labels is not None:
+                row.append(str(int(dataset.labels[i])))
+            writer.writerow(row)

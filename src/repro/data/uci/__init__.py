@@ -1,0 +1,35 @@
+"""UCI benchmark data sets used by the paper (Table II).
+
+Four of the eight data sets (Balance Scale, Tic-Tac-Toe, Car Evaluation,
+Nursery) are deterministic enumerations of known generative rules and are
+regenerated in code — Balance Scale and Tic-Tac-Toe exactly, Car Evaluation
+and Nursery through documented rule approximations of the original DEX
+decision models that preserve the attribute space, the data set size and the
+approximate class distribution.  The remaining four (Congressional, Vote,
+Chess, Mushroom) are replaced by statistically matched synthetic analogues
+because the experiment environment has no network access (see DESIGN.md §5).
+"""
+
+from repro.data.uci.balance import load_balance_scale
+from repro.data.uci.car import load_car_evaluation
+from repro.data.uci.chess import load_chess
+from repro.data.uci.congressional import load_congressional
+from repro.data.uci.mushroom import load_mushroom
+from repro.data.uci.nursery import load_nursery
+from repro.data.uci.registry import TABLE2_SPECS, available_datasets, load_dataset
+from repro.data.uci.tictactoe import load_tictactoe
+from repro.data.uci.vote import load_vote
+
+__all__ = [
+    "load_balance_scale",
+    "load_car_evaluation",
+    "load_chess",
+    "load_congressional",
+    "load_mushroom",
+    "load_nursery",
+    "load_tictactoe",
+    "load_vote",
+    "load_dataset",
+    "available_datasets",
+    "TABLE2_SPECS",
+]

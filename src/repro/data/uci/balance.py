@@ -1,0 +1,37 @@
+"""Balance Scale data set — exact regeneration.
+
+The UCI Balance Scale data set enumerates all ``5^4 = 625`` combinations of
+(left-weight, left-distance, right-weight, right-distance), each in
+``{1..5}``, and labels each combination by which side of the scale tips:
+``L`` if ``LW*LD > RW*RD``, ``R`` if smaller, ``B`` (balanced) if equal.
+The class distribution is 288 L / 288 R / 49 B, and ``k* = 3``.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import List
+
+from repro.data.dataset import CategoricalDataset
+
+FEATURE_NAMES = ["left_weight", "left_distance", "right_weight", "right_distance"]
+LEVELS = ["1", "2", "3", "4", "5"]
+
+
+def load_balance_scale() -> CategoricalDataset:
+    """Return the exact 625-object Balance Scale data set (d=4, k*=3)."""
+    values: List[List[str]] = []
+    labels: List[str] = []
+    for lw, ld, rw, rd in product(range(1, 6), repeat=4):
+        values.append([str(lw), str(ld), str(rw), str(rd)])
+        left = lw * ld
+        right = rw * rd
+        if left > right:
+            labels.append("L")
+        elif left < right:
+            labels.append("R")
+        else:
+            labels.append("B")
+    return CategoricalDataset.from_values(
+        values, labels=labels, feature_names=FEATURE_NAMES, name="Balance"
+    )

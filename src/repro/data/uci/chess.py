@@ -1,0 +1,32 @@
+"""Chess (King-Rook vs. King-Pawn) data set — synthetic analogue.
+
+The original kr-vs-kp data set describes 3196 chess endgame positions with 36
+mostly binary board-feature attributes and a binary class (white can win /
+cannot win, 52%/48%).  Although the class is perfectly *learnable* with
+supervision, its unsupervised cluster structure is weak — every method in the
+paper's Table III stays close to chance level (ACC ~0.50-0.59).  The analogue
+therefore uses a low informative fraction and purity so that the same
+near-chance behaviour emerges.
+"""
+
+from __future__ import annotations
+
+from repro.data.dataset import CategoricalDataset
+from repro.data.uci._analogue import make_analogue
+
+
+def load_chess(seed: int = 17) -> CategoricalDataset:
+    """Return a 3196-object, 36-feature, 2-class analogue of kr-vs-kp."""
+    n_categories = [2] * 35 + [3]  # one original attribute ("wknck") has 3 values
+    return make_analogue(
+        name="Che",
+        n_objects=3196,
+        n_features=36,
+        n_clusters=2,
+        n_categories=n_categories,
+        informative_fraction=0.2,
+        informative_purity=0.28,
+        noise_purity=0.02,
+        cluster_weights=[1669, 1527],
+        seed=seed,
+    )

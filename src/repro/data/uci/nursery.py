@@ -1,0 +1,90 @@
+"""Nursery data set — rule-based regeneration.
+
+The UCI Nursery data set enumerates all ``3*5*4*4*3*2*3*3 = 12960``
+combinations of eight attributes describing nursery-school applications and
+ranks each application into one of five classes (not_recom, recommend,
+very_recom, priority, spec_prior) through a hierarchical DEX decision model
+(EMPLOY <- parents, has_nurs; STRUCT_FINAN <- form, children, housing,
+finance; SOC_HEALTH <- social, health; NURSERY <- EMPLOY, STRUCT_FINAN,
+SOC_HEALTH).  As with Car Evaluation, the original utility tables are not
+redistributed, so this module implements a documented approximation that
+preserves the attribute space (d=8, n=12960, k*=5), the hard rule
+``health = not_recom -> not_recom`` (exactly one third of the data), and the
+published ordering of class frequencies (not_recom ~33%, priority ~33%,
+spec_prior ~31%, very_recom ~2.5%, recommend <0.1%).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import List
+
+from repro.data.dataset import CategoricalDataset
+
+FEATURE_NAMES = [
+    "parents", "has_nurs", "form", "children", "housing", "finance", "social", "health",
+]
+
+PARENTS = ["usual", "pretentious", "great_pret"]
+HAS_NURS = ["proper", "less_proper", "improper", "critical", "very_crit"]
+FORM = ["complete", "completed", "incomplete", "foster"]
+CHILDREN = ["1", "2", "3", "more"]
+HOUSING = ["convenient", "less_conv", "critical"]
+FINANCE = ["convenient", "inconv"]
+SOCIAL = ["nonprob", "slightly_prob", "problematic"]
+HEALTH = ["recommended", "priority", "not_recom"]
+
+
+def _employment_need(parents: str, has_nurs: str) -> int:
+    """How urgently the parents need nursery placement: 0 (low) .. 4 (critical)."""
+    parent_score = {"usual": 0, "pretentious": 1, "great_pret": 2}[parents]
+    nurs_score = {"proper": 0, "less_proper": 1, "improper": 2, "critical": 3, "very_crit": 4}[has_nurs]
+    return parent_score + nurs_score
+
+
+def _structure_finance(form: str, children: str, housing: str, finance: str) -> int:
+    """Family structure / financial standing: 0 (good) .. 6 (poor)."""
+    form_score = {"complete": 0, "completed": 1, "incomplete": 2, "foster": 3}[form]
+    child_score = {"1": 0, "2": 0, "3": 1, "more": 2}[children]
+    housing_score = {"convenient": 0, "less_conv": 1, "critical": 2}[housing]
+    finance_score = {"convenient": 0, "inconv": 1}[finance]
+    return form_score + child_score + housing_score + finance_score
+
+
+def _social_health(social: str, health: str) -> int:
+    """Social and health picture: 0 (fine) .. 3 (serious issues)."""
+    social_score = {"nonprob": 0, "slightly_prob": 0, "problematic": 1}[social]
+    health_score = {"recommended": 0, "priority": 1, "not_recom": 2}[health]
+    return social_score + health_score
+
+
+def evaluate_application(
+    parents: str, has_nurs: str, form: str, children: str,
+    housing: str, finance: str, social: str, health: str,
+) -> str:
+    """Apply the approximated DEX hierarchy to a single application."""
+    if health == "not_recom":
+        return "not_recom"
+    need = _employment_need(parents, has_nurs)
+    hardship = _structure_finance(form, children, housing, finance)
+    issues = _social_health(social, health)
+
+    pressure = need + (hardship + 1) // 2 + issues
+    if health == "recommended" and need <= 1 and hardship <= 1 and issues == 0:
+        # Nearly ideal applications: the tiny "recommend"/"very_recom" classes.
+        return "recommend" if hardship == 0 and need == 0 else "very_recom"
+    if pressure >= 6:
+        return "spec_prior"
+    return "priority"
+
+
+def load_nursery() -> CategoricalDataset:
+    """Return the 12960-object Nursery data set (d=8, k*=5)."""
+    values: List[List[str]] = []
+    labels: List[str] = []
+    for combo in product(PARENTS, HAS_NURS, FORM, CHILDREN, HOUSING, FINANCE, SOCIAL, HEALTH):
+        values.append(list(combo))
+        labels.append(evaluate_application(*combo))
+    return CategoricalDataset.from_values(
+        values, labels=labels, feature_names=FEATURE_NAMES, name="Nur"
+    )

@@ -1,0 +1,87 @@
+"""Registry of the benchmark data sets used throughout the experiments.
+
+``TABLE2_SPECS`` mirrors the paper's Table II: the abbreviation, expected
+``d``, ``n`` and ``k*`` of every data set, plus the loader that produces it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.data.dataset import CategoricalDataset
+from repro.data.generators import make_syn_d, make_syn_n
+from repro.data.uci.balance import load_balance_scale
+from repro.data.uci.car import load_car_evaluation
+from repro.data.uci.chess import load_chess
+from repro.data.uci.congressional import load_congressional
+from repro.data.uci.mushroom import load_mushroom
+from repro.data.uci.nursery import load_nursery
+from repro.data.uci.tictactoe import load_tictactoe
+from repro.data.uci.vote import load_vote
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Expected statistics of a benchmark data set (one row of Table II)."""
+
+    number: int
+    full_name: str
+    abbrev: str
+    d: int
+    n: int
+    k_star: int
+    loader: Callable[[], CategoricalDataset]
+    exact: bool  # True when regenerated exactly from published rules
+
+
+TABLE2_SPECS: List[DatasetSpec] = [
+    DatasetSpec(1, "Car Evaluation", "Car", 6, 1728, 4, load_car_evaluation, True),
+    DatasetSpec(2, "Congressional", "Con", 16, 435, 2, load_congressional, False),
+    DatasetSpec(3, "Chess", "Che", 36, 3196, 2, load_chess, False),
+    DatasetSpec(4, "Mushroom", "Mus", 22, 8124, 2, load_mushroom, False),
+    DatasetSpec(5, "Tic Tac Toe", "Tic", 9, 958, 2, load_tictactoe, True),
+    DatasetSpec(6, "Vote", "Vot", 16, 232, 2, load_vote, False),
+    DatasetSpec(7, "Balance", "Bal", 4, 625, 3, load_balance_scale, True),
+    DatasetSpec(8, "Nursery", "Nur", 8, 12960, 5, load_nursery, True),
+    DatasetSpec(9, "Synthetic (with large n)", "Syn_n", 10, 200000, 3, make_syn_n, False),
+    DatasetSpec(10, "Synthetic (with large d)", "Syn_d", 1000, 20000, 3, make_syn_d, False),
+]
+
+_BY_ABBREV: Dict[str, DatasetSpec] = {spec.abbrev.lower(): spec for spec in TABLE2_SPECS}
+_ALIASES = {
+    "car evaluation": "car",
+    "congressional": "con",
+    "chess": "che",
+    "mushroom": "mus",
+    "tic tac toe": "tic",
+    "tictactoe": "tic",
+    "vote": "vot",
+    "balance": "bal",
+    "balance scale": "bal",
+    "nursery": "nur",
+    "syn-n": "syn_n",
+    "syn-d": "syn_d",
+}
+
+
+def available_datasets(include_synthetic: bool = False) -> List[str]:
+    """List the abbreviations of the available benchmark data sets."""
+    specs = TABLE2_SPECS if include_synthetic else TABLE2_SPECS[:8]
+    return [spec.abbrev for spec in specs]
+
+
+def get_spec(name: str) -> DatasetSpec:
+    """Return the :class:`DatasetSpec` for ``name`` (abbreviation or full name)."""
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    if key not in _BY_ABBREV:
+        raise KeyError(
+            f"Unknown data set {name!r}; available: {[s.abbrev for s in TABLE2_SPECS]}"
+        )
+    return _BY_ABBREV[key]
+
+
+def load_dataset(name: str) -> CategoricalDataset:
+    """Load a benchmark data set by name or abbreviation (case-insensitive)."""
+    return get_spec(name).loader()

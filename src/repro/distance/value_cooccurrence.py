@@ -1,0 +1,112 @@
+"""Co-occurrence / mutual-information based value distances.
+
+Substrate for the GUDMM baseline (generalized multi-aspect distance metric
+based on mutual information) and, more generally, for the "entropy-based /
+probability-based" stream of categorical distance measures discussed in the
+paper's related work.  The central idea (Ahmad & Dey 2007; Ienco et al. 2012;
+Mousavi & Sehhati 2023) is that the distance between two values of a feature
+should reflect how differently they co-occur with the values of the *other*
+features, rather than a flat 0/1 mismatch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.utils.validation import check_array_2d
+
+
+def _conditional_distribution(codes: np.ndarray, r: int, s: int, m_r: int, m_s: int) -> np.ndarray:
+    """P(value of feature s | value of feature r) as an ``(m_r, m_s)`` row-stochastic matrix."""
+    joint = np.zeros((m_r, m_s), dtype=np.float64)
+    col_r = codes[:, r]
+    col_s = codes[:, s]
+    mask = (col_r >= 0) & (col_s >= 0)
+    np.add.at(joint, (col_r[mask], col_s[mask]), 1.0)
+    row_sums = joint.sum(axis=1, keepdims=True)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        cond = np.where(row_sums > 0, joint / row_sums, 0.0)
+    return cond
+
+
+def mutual_information_matrix(codes, n_categories: Optional[List[int]] = None) -> np.ndarray:
+    """Pairwise mutual information between features, shape ``(d, d)``.
+
+    Used by GUDMM to weight how much each context feature should contribute
+    to the distance between two values of a target feature.
+    """
+    codes = check_array_2d(codes, "codes", dtype=np.int64)
+    n, d = codes.shape
+    if n_categories is None:
+        n_categories = [int(codes[:, r].max()) + 1 for r in range(d)]
+    mi = np.zeros((d, d), dtype=np.float64)
+    for r in range(d):
+        for s in range(r + 1, d):
+            col_r, col_s = codes[:, r], codes[:, s]
+            mask = (col_r >= 0) & (col_s >= 0)
+            if not mask.any():
+                continue
+            joint = np.zeros((n_categories[r], n_categories[s]), dtype=np.float64)
+            np.add.at(joint, (col_r[mask], col_s[mask]), 1.0)
+            joint /= joint.sum()
+            p_r = joint.sum(axis=1, keepdims=True)
+            p_s = joint.sum(axis=0, keepdims=True)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                ratio = np.where(joint > 0, joint / (p_r @ p_s), 1.0)
+                value = float(np.sum(np.where(joint > 0, joint * np.log(ratio), 0.0)))
+            mi[r, s] = mi[s, r] = max(value, 0.0)
+    return mi
+
+
+def cooccurrence_value_distances(
+    codes,
+    n_categories: Optional[List[int]] = None,
+    weight_by_mutual_information: bool = True,
+) -> List[np.ndarray]:
+    """Per-feature value-to-value distance matrices learned from co-occurrence.
+
+    For feature ``r`` the returned matrix ``D_r`` has shape ``(m_r, m_r)``;
+    ``D_r[a, b]`` is the average (optionally MI-weighted) total-variation
+    distance between the conditional distributions of every other feature
+    given ``F_r = a`` versus ``F_r = b``.  Distances are normalised to
+    ``[0, 1]`` and the diagonal is zero.
+    """
+    codes = check_array_2d(codes, "codes", dtype=np.int64)
+    n, d = codes.shape
+    if n_categories is None:
+        n_categories = [int(codes[:, r].max()) + 1 for r in range(d)]
+
+    if d == 1:
+        # With a single feature there is no context: fall back to 0/1 distances.
+        m = n_categories[0]
+        return [np.ones((m, m)) - np.eye(m)]
+
+    mi = mutual_information_matrix(codes, n_categories) if weight_by_mutual_information else None
+
+    distances: List[np.ndarray] = []
+    for r in range(d):
+        m_r = n_categories[r]
+        D = np.zeros((m_r, m_r), dtype=np.float64)
+        total_weight = 0.0
+        for s in range(d):
+            if s == r:
+                continue
+            weight = 1.0
+            if mi is not None:
+                weight = mi[r, s]
+                if weight <= 0:
+                    continue
+            cond = _conditional_distribution(codes, r, s, m_r, n_categories[s])
+            # Total-variation distance between conditional rows of values a and b.
+            diff = 0.5 * np.abs(cond[:, None, :] - cond[None, :, :]).sum(axis=2)
+            D += weight * diff
+            total_weight += weight
+        if total_weight > 0:
+            D /= total_weight
+        else:
+            D = np.ones((m_r, m_r)) - np.eye(m_r)
+        np.fill_diagonal(D, 0.0)
+        distances.append(D)
+    return distances

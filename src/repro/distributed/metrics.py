@@ -1,0 +1,60 @@
+"""Quality metrics for distributed pre-partitioning and node grouping."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.base import ArrayOrDataset, coerce_codes
+from repro.distance.object_cluster import ClusterFrequencyTable
+from repro.utils.validation import check_labels
+
+
+def intra_partition_similarity(X: ArrayOrDataset, assignments) -> float:
+    """Average object-to-own-partition similarity (higher = better preserved locality).
+
+    This is the quantity the paper argues MCDC-guided pre-partitioning
+    protects: objects placed on the same node stay categorically similar, so
+    per-node local models retain the correlation structure.
+    """
+    codes, n_categories = coerce_codes(X)
+    assignments = check_labels(assignments, n=codes.shape[0], name="assignments")
+    n_partitions = int(assignments.max()) + 1
+    table = ClusterFrequencyTable.from_labels(codes, assignments, n_partitions, n_categories)
+    sims = table.similarity_matrix()
+    return float(sims[np.arange(codes.shape[0]), assignments].mean())
+
+
+def load_balance(assignments, n_partitions: int = None) -> float:
+    """Load-balance score in (0, 1]: 1 means perfectly equal partition sizes.
+
+    Defined as the ratio of the ideal partition size to the largest actual
+    partition size.
+    """
+    assignments = check_labels(assignments, name="assignments")
+    if n_partitions is None:
+        n_partitions = int(assignments.max()) + 1
+    sizes = np.bincount(assignments, minlength=n_partitions).astype(np.float64)
+    if sizes.max() == 0:
+        return 1.0
+    ideal = assignments.shape[0] / n_partitions
+    return float(ideal / sizes.max())
+
+
+def node_group_consistency(throughputs, groups) -> float:
+    """Within-group throughput consistency in (0, 1]; 1 = identical nodes per group.
+
+    Computed as one minus the mean within-group coefficient of variation of
+    node throughput (clipped at zero), so homogeneous groups score high.
+    """
+    throughputs = np.asarray(throughputs, dtype=np.float64)
+    groups = check_labels(groups, n=throughputs.shape[0], name="groups")
+    cvs = []
+    for g in np.unique(groups):
+        values = throughputs[groups == g]
+        if values.size <= 1 or values.mean() == 0:
+            cvs.append(0.0)
+            continue
+        cvs.append(float(values.std() / values.mean()))
+    return float(max(0.0, 1.0 - np.mean(cvs))) if cvs else 1.0

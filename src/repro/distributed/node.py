@@ -1,0 +1,104 @@
+"""Simulated compute nodes described by categorical features (paper Fig. 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.dataset import CategoricalDataset
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_positive_int
+
+#: Categorical feature vocabulary used to describe nodes, mirroring Fig. 1
+#: ("GPU Type", "GPU Usage", "Memory Usage") with a few extra realistic ones.
+NODE_FEATURES: Dict[str, List[str]] = {
+    "gpu_type": ["A", "B", "C", "D"],
+    "gpu_usage": ["low", "medium", "high"],
+    "memory_usage": ["low", "medium", "high"],
+    "network_tier": ["edge", "standard", "premium"],
+    "storage_type": ["hdd", "ssd", "nvme"],
+    "region": ["east", "west", "north", "south"],
+}
+
+#: Relative throughput contributed by each value (used by the simulator).
+_THROUGHPUT = {
+    "gpu_type": {"A": 1.0, "B": 1.6, "C": 2.4, "D": 3.5},
+    "gpu_usage": {"low": 1.0, "medium": 0.7, "high": 0.4},
+    "memory_usage": {"low": 1.0, "medium": 0.8, "high": 0.55},
+    "network_tier": {"edge": 0.7, "standard": 1.0, "premium": 1.3},
+    "storage_type": {"hdd": 0.8, "ssd": 1.0, "nvme": 1.2},
+    "region": {"east": 1.0, "west": 1.0, "north": 1.0, "south": 1.0},
+}
+
+
+@dataclass
+class ComputeNode:
+    """One simulated compute node with categorical hardware/usage features."""
+
+    node_id: int
+    features: Dict[str, str]
+
+    def throughput(self) -> float:
+        """Relative processing throughput implied by the node's features."""
+        value = 1.0
+        for feature, choice in self.features.items():
+            value *= _THROUGHPUT.get(feature, {}).get(choice, 1.0)
+        return value
+
+
+@dataclass
+class NodePool:
+    """A pool of compute nodes plus its categorical-data-set view."""
+
+    nodes: List[ComputeNode] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def to_dataset(self, name: str = "compute-nodes") -> CategoricalDataset:
+        """Expose the pool as a :class:`CategoricalDataset` (one object per node)."""
+        if not self.nodes:
+            raise ValueError("NodePool is empty")
+        feature_names = list(NODE_FEATURES)
+        values = [[node.features[f] for f in feature_names] for node in self.nodes]
+        return CategoricalDataset.from_values(values, feature_names=feature_names, name=name)
+
+    def throughputs(self) -> np.ndarray:
+        """Per-node throughput vector."""
+        return np.array([node.throughput() for node in self.nodes], dtype=np.float64)
+
+
+def make_node_pool(
+    n_nodes: int = 64,
+    n_profiles: int = 4,
+    profile_purity: float = 0.85,
+    random_state: RandomState = None,
+) -> NodePool:
+    """Generate a heterogeneous node pool with ``n_profiles`` latent hardware profiles.
+
+    Nodes inside a profile share most feature values (e.g. the "big GPU,
+    premium network" profile), so clustering the pool should rediscover the
+    profiles — the use case of paper Sec. III-D item 2.
+    """
+    n_nodes = check_positive_int(n_nodes, "n_nodes")
+    n_profiles = check_positive_int(n_profiles, "n_profiles")
+    rng = ensure_rng(random_state)
+
+    feature_names = list(NODE_FEATURES)
+    profiles: List[Dict[str, str]] = []
+    for _ in range(n_profiles):
+        profiles.append({f: str(rng.choice(NODE_FEATURES[f])) for f in feature_names})
+
+    nodes: List[ComputeNode] = []
+    for node_id in range(n_nodes):
+        profile = profiles[node_id % n_profiles]
+        features: Dict[str, str] = {}
+        for f in feature_names:
+            if rng.random() < profile_purity:
+                features[f] = profile[f]
+            else:
+                features[f] = str(rng.choice(NODE_FEATURES[f]))
+        nodes.append(ComputeNode(node_id=node_id, features=features))
+    return NodePool(nodes=nodes)

@@ -1,0 +1,76 @@
+"""A small discrete simulator of distributed execution over a node pool.
+
+Used by the examples and tests to show, end to end, that MCDC-guided node
+grouping and data pre-partitioning lead to better makespan and locality than
+heterogeneity-blind baselines — the argument of paper Sec. III-D.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.distributed.node import NodePool
+from repro.distributed.scheduler import Task
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class SimulationReport:
+    """Outcome of a simulated distributed run."""
+
+    makespan: float                 # time until the slowest node finishes
+    total_work: float
+    node_finish_times: Dict[int, float]
+    idle_fraction: float            # average fraction of time nodes sit idle
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "makespan": self.makespan,
+            "total_work": self.total_work,
+            "idle_fraction": self.idle_fraction,
+        }
+
+
+def make_tasks(
+    n_tasks: int = 200,
+    mean_demand: float = 1.0,
+    n_profiles: int = 4,
+    random_state: RandomState = None,
+) -> List[Task]:
+    """Generate a synthetic task workload with mixed demands and profile preferences."""
+    n_tasks = check_positive_int(n_tasks, "n_tasks")
+    rng = ensure_rng(random_state)
+    tasks = []
+    for task_id in range(n_tasks):
+        demand = float(rng.exponential(mean_demand) + 0.1)
+        preferred = int(rng.integers(0, n_profiles)) if rng.random() < 0.5 else None
+        tasks.append(Task(task_id=task_id, demand=demand, preferred_profile=preferred))
+    return tasks
+
+
+def simulate_distributed_execution(
+    assignment: Dict[int, List[Task]], pool: NodePool
+) -> SimulationReport:
+    """Compute the makespan of an assignment given per-node throughput."""
+    throughput = {node.node_id: max(node.throughput(), 1e-9) for node in pool.nodes}
+    finish_times: Dict[int, float] = {}
+    total_work = 0.0
+    for node_id, tasks in assignment.items():
+        work = float(sum(task.demand for task in tasks))
+        total_work += work
+        finish_times[node_id] = work / throughput[node_id]
+    makespan = max(finish_times.values()) if finish_times else 0.0
+    if makespan > 0:
+        idle = np.mean([1.0 - (t / makespan) for t in finish_times.values()])
+    else:
+        idle = 0.0
+    return SimulationReport(
+        makespan=float(makespan),
+        total_work=float(total_work),
+        node_finish_times=finish_times,
+        idle_fraction=float(idle),
+    )

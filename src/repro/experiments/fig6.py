@@ -1,0 +1,107 @@
+"""Fig. 6: execution time of MCDC and counterparts versus n, k and d."""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.core import MCDC
+from repro.baselines import KModes
+from repro.data.generators import make_categorical_clusters
+from repro.experiments.config import ExperimentConfig, active_config
+from repro.experiments.reporting import format_table
+
+#: Methods timed in the scalability sweeps.  The paper plots several
+#: counterparts; k-modes is the representative linear baseline and MCDC is the
+#: method under test.  Quadratic methods (ROCK, hierarchical) are omitted from
+#: the sweep because they do not complete at the largest sizes — which is
+#: itself the paper's point.
+TIMED_METHODS = ("MCDC", "K-MODES")
+
+
+def _time_method(name: str, dataset, n_clusters: int, seed: int) -> float:
+    if name == "MCDC":
+        method = MCDC(n_clusters=n_clusters, n_init=2, random_state=seed)
+    elif name == "K-MODES":
+        method = KModes(n_clusters=n_clusters, n_init=2, random_state=seed)
+    else:
+        raise ValueError(f"Unknown timed method {name!r}")
+    start = time.perf_counter()
+    method.fit(dataset)
+    return time.perf_counter() - start
+
+
+def run_fig6(config: Optional[ExperimentConfig] = None) -> Dict[str, List[Dict[str, float]]]:
+    """Regenerate the Fig. 6 execution-time series.
+
+    Returns three series — ``"vs_n"``, ``"vs_k"`` and ``"vs_d"`` — each a list
+    of rows ``{"x": value, "<method>": seconds}``.  The expected shape: MCDC's
+    time grows (close to) linearly with n, k and d.
+    """
+    config = config or active_config()
+    seed = config.random_state
+    results: Dict[str, List[Dict[str, float]]] = {"vs_n": [], "vs_k": [], "vs_d": []}
+
+    # (a) time vs n on Syn_n-style data (d=10, k*=3).
+    for n in config.fig6_n_values:
+        dataset = make_categorical_clusters(
+            n_objects=n, n_features=10, n_clusters=3, purity=0.92, random_state=seed
+        )
+        row: Dict[str, float] = {"x": float(n)}
+        for method in TIMED_METHODS:
+            row[method] = _time_method(method, dataset, 3, seed)
+        results["vs_n"].append(row)
+
+    # (b) time vs sought k on a fixed Syn_n-style data set.
+    base = make_categorical_clusters(
+        n_objects=config.fig6_base_n, n_features=10, n_clusters=3, purity=0.92, random_state=seed
+    )
+    for k in config.fig6_k_values:
+        row = {"x": float(k)}
+        for method in TIMED_METHODS:
+            row[method] = _time_method(method, base, int(k), seed)
+        results["vs_k"].append(row)
+
+    # (c) time vs d on Syn_d-style data (n fixed, k*=3).
+    for d in config.fig6_d_values:
+        dataset = make_categorical_clusters(
+            n_objects=config.fig6_base_n, n_features=int(d), n_clusters=3,
+            purity=0.92, random_state=seed,
+        )
+        row = {"x": float(d)}
+        for method in TIMED_METHODS:
+            row[method] = _time_method(method, dataset, 3, seed)
+        results["vs_d"].append(row)
+    return results
+
+
+def linear_fit_r2(xs: List[float], ys: List[float]) -> float:
+    """Coefficient of determination of a straight-line fit (scalability check)."""
+    import numpy as np
+
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    if x.size < 2 or np.allclose(y, y[0]):
+        return 1.0
+    coeffs = np.polyfit(x, y, deg=1)
+    predicted = np.polyval(coeffs, x)
+    ss_res = float(((y - predicted) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    return 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+
+
+def main() -> None:
+    results = run_fig6()
+    for series_name, rows in results.items():
+        print(f"\nFig. 6 ({series_name}): execution time in seconds")
+        headers = ["x"] + list(TIMED_METHODS)
+        table_rows = [[f"{row['x']:.0f}"] + [f"{row[m]:.2f}" for m in TIMED_METHODS] for row in rows]
+        print(format_table(headers, table_rows))
+        xs = [row["x"] for row in rows]
+        for method in TIMED_METHODS:
+            r2 = linear_fit_r2(xs, [row[method] for row in rows])
+            print(f"  linear-fit R^2 for {method}: {r2:.3f}")
+
+
+if __name__ == "__main__":
+    main()

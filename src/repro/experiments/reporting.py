@@ -1,0 +1,36 @@
+"""Plain-text rendering of experiment results (paper-style tables and series)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a simple fixed-width text table."""
+    rows = [list(map(str, row)) for row in rows]
+    headers = list(map(str, headers))
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_mean_std(mean: float, std: float) -> str:
+    """The paper's ``mean±std`` cell format."""
+    return f"{mean:.3f}±{std:.2f}"
+
+
+def highlight_best(cells: Mapping[str, float]) -> Dict[str, str]:
+    """Mark the best and second-best values per row (paper boldface/underline)."""
+    ordered = sorted(cells.items(), key=lambda item: -item[1])
+    marks: Dict[str, str] = {name: "" for name in cells}
+    if ordered:
+        marks[ordered[0][0]] = "*"      # best (paper: boldface)
+    if len(ordered) > 1:
+        marks[ordered[1][0]] = "_"      # second best (paper: underline)
+    return marks

@@ -1,0 +1,106 @@
+"""Shared machinery: method factory and repeated-run evaluation."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.baselines import ADC, FKMAWCW, GUDMM, KModes, ROCK, WOCIL
+from repro.core import MCDC
+from repro.data.dataset import CategoricalDataset
+from repro.experiments.config import ExperimentConfig
+from repro.metrics import INDEX_NAMES, evaluate_clustering
+from repro.utils.rng import ensure_rng
+
+#: Method names in the paper's Table III column order.
+METHOD_NAMES = (
+    "K-MODES",
+    "ROCK",
+    "WOCIL",
+    "FKMAWCW",
+    "GUDMM",
+    "ADC",
+    "MCDC",
+    "MCDC+G.",
+    "MCDC+F.",
+)
+
+
+def method_names() -> List[str]:
+    """The nine compared methods, in the paper's column order."""
+    return list(METHOD_NAMES)
+
+
+def make_method(name: str, n_clusters: int, seed: int, config: Optional[ExperimentConfig] = None):
+    """Instantiate one of the compared methods with the paper's hyper-parameters.
+
+    ``MCDC+G.`` and ``MCDC+F.`` are MCDC variants whose final clustering stage
+    is GUDMM / FKMAWCW applied to the MGCPL encoding (paper Sec. IV-A).
+    """
+    lr = config.learning_rate if config is not None else 0.03
+    name = name.upper().replace(" ", "")
+    if name in ("K-MODES", "KMODES"):
+        return KModes(n_clusters=n_clusters, n_init=5, random_state=seed)
+    if name == "ROCK":
+        return ROCK(n_clusters=n_clusters, random_state=seed)
+    if name == "WOCIL":
+        return WOCIL(n_clusters=n_clusters, random_state=seed)
+    if name == "FKMAWCW":
+        return FKMAWCW(n_clusters=n_clusters, n_init=3, random_state=seed)
+    if name == "GUDMM":
+        return GUDMM(n_clusters=n_clusters, n_init=3, random_state=seed)
+    if name == "ADC":
+        return ADC(n_clusters=n_clusters, n_init=3, random_state=seed)
+    if name == "MCDC":
+        return MCDC(n_clusters=n_clusters, learning_rate=lr, n_init=5, random_state=seed)
+    if name in ("MCDC+G.", "MCDC+G"):
+        return MCDC(
+            n_clusters=n_clusters,
+            learning_rate=lr,
+            final_clusterer=GUDMM(n_clusters=n_clusters, n_init=3, random_state=seed),
+            random_state=seed,
+        )
+    if name in ("MCDC+F.", "MCDC+F"):
+        return MCDC(
+            n_clusters=n_clusters,
+            learning_rate=lr,
+            final_clusterer=FKMAWCW(n_clusters=n_clusters, n_init=3, random_state=seed),
+            random_state=seed,
+        )
+    raise ValueError(f"Unknown method {name!r}; expected one of {METHOD_NAMES}")
+
+
+def run_method_on_dataset(
+    method_name: str,
+    dataset: CategoricalDataset,
+    n_restarts: int,
+    random_state: int,
+    config: Optional[ExperimentConfig] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Run one method ``n_restarts`` times and aggregate the four validity indices.
+
+    Returns ``{"ACC": {"mean": ..., "std": ...}, ...}``.  A run that raises is
+    recorded as all-zero scores — the same convention the paper uses for
+    methods "judged as failed" on a data set.
+    """
+    rng = ensure_rng(random_state)
+    k = dataset.n_clusters_true or 2
+    per_index: Dict[str, List[float]] = {index: [] for index in INDEX_NAMES}
+    for _ in range(n_restarts):
+        seed = int(rng.integers(0, 2**31 - 1))
+        method = make_method(method_name, k, seed, config)
+        try:
+            labels = method.fit_predict(dataset)
+            scores = evaluate_clustering(dataset.labels, labels)
+        except Exception:
+            scores = {index: 0.0 for index in INDEX_NAMES}
+        for index in INDEX_NAMES:
+            per_index[index].append(scores[index])
+    return {
+        index: {
+            "mean": float(np.mean(values)),
+            "std": float(np.std(values)),
+        }
+        for index, values in per_index.items()
+    }

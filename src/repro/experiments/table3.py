@@ -1,0 +1,80 @@
+"""Table III: clustering performance of the nine methods on the benchmark data sets."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.data.uci.registry import get_spec
+from repro.experiments.config import ExperimentConfig, active_config
+from repro.experiments.reporting import format_mean_std, format_table, highlight_best
+from repro.experiments.runner import METHOD_NAMES, run_method_on_dataset
+from repro.metrics import INDEX_NAMES
+
+#: Paper-reported ACC of MCDC+F. per data set, used by EXPERIMENTS.md to
+#: compare shapes (not asserted anywhere).
+PAPER_MCDC_F_ACC = {
+    "Car": 0.414, "Con": 0.874, "Che": 0.585, "Mus": 0.784,
+    "Tic": 0.646, "Vot": 0.905, "Bal": 0.506, "Nur": 0.432,
+}
+
+
+def run_table3(
+    datasets: Optional[List[str]] = None,
+    methods: Optional[List[str]] = None,
+    config: Optional[ExperimentConfig] = None,
+) -> Dict[str, Dict[str, Dict[str, Dict[str, float]]]]:
+    """Regenerate Table III.
+
+    Returns ``results[dataset][method][index] = {"mean": ..., "std": ...}``.
+    The slow quadratic methods (ROCK) and the metric-learning methods
+    (GUDMM/ADC) are skipped on data sets larger than
+    ``config.max_objects_slow_methods`` in the fast preset and recorded as
+    zeros, mirroring the paper's treatment of failed runs.
+    """
+    config = config or active_config()
+    datasets = datasets or list(config.datasets)
+    methods = methods or list(METHOD_NAMES)
+
+    results: Dict[str, Dict[str, Dict[str, Dict[str, float]]]] = {}
+    for dataset_name in datasets:
+        spec = get_spec(dataset_name)
+        dataset = spec.loader()
+        results[spec.abbrev] = {}
+        for method in methods:
+            if _skip(method, dataset.n_objects, dataset.n_features, config):
+                results[spec.abbrev][method] = {
+                    index: {"mean": 0.0, "std": 0.0} for index in INDEX_NAMES
+                }
+                continue
+            results[spec.abbrev][method] = run_method_on_dataset(
+                method, dataset, config.n_restarts, config.random_state, config
+            )
+    return results
+
+
+def _skip(method: str, n_objects: int, n_features: int, config: ExperimentConfig) -> bool:
+    """Whether a heavy method is skipped on a large data set under this preset."""
+    heavy = method.upper() in ("ROCK", "GUDMM", "ADC", "FKMAWCW", "MCDC+G.", "MCDC+F.")
+    return heavy and n_objects > config.max_objects_slow_methods
+
+
+def main() -> None:
+    config = active_config()
+    results = run_table3(config=config)
+    for index in INDEX_NAMES:
+        print(f"\nTable III ({index}) — mean±std over {config.n_restarts} runs")
+        headers = ["Data"] + list(METHOD_NAMES)
+        rows = []
+        for dataset_name, by_method in results.items():
+            means = {m: by_method[m][index]["mean"] for m in METHOD_NAMES}
+            marks = highlight_best(means)
+            row = [dataset_name]
+            for m in METHOD_NAMES:
+                cell = format_mean_std(by_method[m][index]["mean"], by_method[m][index]["std"])
+                row.append(cell + marks[m])
+            rows.append(row)
+        print(format_table(headers, rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Table IV: Wilcoxon signed-rank significance test of MCDC+F. against the counterparts."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.config import ExperimentConfig, active_config
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import METHOD_NAMES
+from repro.experiments.table3 import run_table3
+from repro.metrics import INDEX_NAMES
+from repro.stats import wilcoxon_signed_rank
+
+#: The method whose superiority is tested (the paper's best-performing variant).
+REFERENCE_METHOD = "MCDC+F."
+#: Counterparts listed in the paper's Table IV.
+COUNTERPARTS = ("K-MODES", "ROCK", "WOCIL", "FKMAWCW", "GUDMM", "ADC")
+
+
+def run_table4(
+    table3_results: Optional[Dict] = None,
+    config: Optional[ExperimentConfig] = None,
+) -> Dict[str, Dict[str, Dict[str, object]]]:
+    """Regenerate Table IV.
+
+    Returns ``results[counterpart][index] = {"symbol": "+"/"-", "p_value": float}``.
+    The test pairs the per-data-set mean scores of MCDC+F. against each
+    counterpart at the paper's 90% confidence level (alpha = 0.1, two-sided).
+    """
+    config = config or active_config()
+    if table3_results is None:
+        table3_results = run_table3(config=config)
+
+    datasets = list(table3_results)
+    results: Dict[str, Dict[str, Dict[str, object]]] = {}
+    for counterpart in COUNTERPARTS:
+        results[counterpart] = {}
+        for index in INDEX_NAMES:
+            reference_scores = [
+                table3_results[ds][REFERENCE_METHOD][index]["mean"] for ds in datasets
+            ]
+            counterpart_scores = [
+                table3_results[ds][counterpart][index]["mean"] for ds in datasets
+            ]
+            test = wilcoxon_signed_rank(
+                reference_scores, counterpart_scores, alpha=config.wilcoxon_alpha
+            )
+            results[counterpart][index] = {
+                "symbol": test.symbol(),
+                "p_value": test.p_value,
+                "statistic": test.statistic,
+            }
+    return results
+
+
+def main() -> None:
+    results = run_table4()
+    headers = ["Method"] + list(INDEX_NAMES)
+    rows = []
+    for counterpart, by_index in results.items():
+        rows.append([counterpart] + [by_index[index]["symbol"] for index in INDEX_NAMES])
+    print("Table IV: Wilcoxon signed-rank test (alpha=0.1), '+' = MCDC+F. significantly better")
+    print(format_table(headers, rows))
+
+
+if __name__ == "__main__":
+    main()

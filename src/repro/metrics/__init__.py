@@ -1,0 +1,33 @@
+"""Clustering validity indices (paper Sec. IV-A): ACC, ARI, AMI, FM and helpers.
+
+All indices are implemented from the contingency table; higher is better for
+every index.
+"""
+
+from repro.metrics.accuracy import clustering_accuracy, purity
+from repro.metrics.contingency import contingency_matrix, relabel_to_match
+from repro.metrics.information import (
+    adjusted_mutual_information,
+    entropy_of_labels,
+    mutual_information,
+    normalized_mutual_information,
+)
+from repro.metrics.pair_counting import adjusted_rand_index, fowlkes_mallows, pair_confusion, rand_index
+from repro.metrics.report import evaluate_clustering, INDEX_NAMES
+
+__all__ = [
+    "clustering_accuracy",
+    "purity",
+    "contingency_matrix",
+    "relabel_to_match",
+    "mutual_information",
+    "normalized_mutual_information",
+    "adjusted_mutual_information",
+    "entropy_of_labels",
+    "adjusted_rand_index",
+    "rand_index",
+    "fowlkes_mallows",
+    "pair_confusion",
+    "evaluate_clustering",
+    "INDEX_NAMES",
+]

@@ -1,0 +1,66 @@
+"""Pair-counting validity indices: Rand, Adjusted Rand (ARI) and Fowlkes-Mallows (FM)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.metrics.contingency import contingency_matrix
+
+
+def pair_confusion(labels_true, labels_pred) -> Tuple[float, float, float, float]:
+    """Pair-counting confusion quantities ``(a, b, c, d)``.
+
+    ``a``: pairs together in both partitions; ``b``: together in truth only;
+    ``c``: together in prediction only; ``d``: separate in both.  All counts
+    are over unordered object pairs.
+    """
+    table = contingency_matrix(labels_true, labels_pred).astype(np.float64)
+    n = table.sum()
+    sum_squares = (table**2).sum()
+    row_sq = (table.sum(axis=1) ** 2).sum()
+    col_sq = (table.sum(axis=0) ** 2).sum()
+    a = 0.5 * (sum_squares - n)
+    b = 0.5 * (row_sq - sum_squares)
+    c = 0.5 * (col_sq - sum_squares)
+    total_pairs = 0.5 * n * (n - 1)
+    d = total_pairs - a - b - c
+    return float(a), float(b), float(c), float(d)
+
+
+def rand_index(labels_true, labels_pred) -> float:
+    """Unadjusted Rand index in [0, 1]."""
+    a, b, c, d = pair_confusion(labels_true, labels_pred)
+    total = a + b + c + d
+    return (a + d) / total if total > 0 else 1.0
+
+
+def adjusted_rand_index(labels_true, labels_pred) -> float:
+    """Adjusted Rand Index (ARI) in [-1, 1] (0 expected for random labelings)."""
+    table = contingency_matrix(labels_true, labels_pred).astype(np.float64)
+    n = table.sum()
+    if n < 2:
+        return 1.0
+    sum_comb = (table * (table - 1) / 2.0).sum()
+    row = table.sum(axis=1)
+    col = table.sum(axis=0)
+    sum_comb_rows = (row * (row - 1) / 2.0).sum()
+    sum_comb_cols = (col * (col - 1) / 2.0).sum()
+    total_pairs = n * (n - 1) / 2.0
+    expected = sum_comb_rows * sum_comb_cols / total_pairs
+    max_index = 0.5 * (sum_comb_rows + sum_comb_cols)
+    denom = max_index - expected
+    if denom == 0:
+        return 0.0 if sum_comb != max_index else 1.0
+    return float((sum_comb - expected) / denom)
+
+
+def fowlkes_mallows(labels_true, labels_pred) -> float:
+    """Fowlkes-Mallows score in [0, 1]: geometric mean of pairwise precision and recall."""
+    a, b, c, _ = pair_confusion(labels_true, labels_pred)
+    if a == 0:
+        return 0.0
+    precision = a / (a + c)
+    recall = a / (a + b)
+    return float(np.sqrt(precision * recall))

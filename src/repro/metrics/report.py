@@ -1,0 +1,25 @@
+"""Bundled evaluation of a clustering against ground truth (the paper's four indices)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.metrics.accuracy import clustering_accuracy
+from repro.metrics.information import adjusted_mutual_information
+from repro.metrics.pair_counting import adjusted_rand_index, fowlkes_mallows
+
+#: The four validity indices reported in the paper's Table III, in paper order.
+INDEX_NAMES = ("ACC", "ARI", "AMI", "FM")
+
+
+def evaluate_clustering(labels_true, labels_pred) -> Dict[str, float]:
+    """Compute ACC, ARI, AMI and FM for one clustering result.
+
+    Returns a dict keyed by the names in :data:`INDEX_NAMES`.
+    """
+    return {
+        "ACC": clustering_accuracy(labels_true, labels_pred),
+        "ARI": adjusted_rand_index(labels_true, labels_pred),
+        "AMI": adjusted_mutual_information(labels_true, labels_pred),
+        "FM": fowlkes_mallows(labels_true, labels_pred),
+    }

@@ -1,0 +1,11 @@
+"""Statistical testing utilities (paper Table IV)."""
+
+from repro.stats.ranking import friedman_ranks, win_tie_loss
+from repro.stats.wilcoxon import WilcoxonResult, wilcoxon_signed_rank
+
+__all__ = [
+    "wilcoxon_signed_rank",
+    "WilcoxonResult",
+    "win_tie_loss",
+    "friedman_ranks",
+]

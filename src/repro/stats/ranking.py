@@ -1,0 +1,50 @@
+"""Ranking helpers for multi-method comparisons across data sets."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+
+def win_tie_loss(
+    scores_a: Sequence[float], scores_b: Sequence[float], tolerance: float = 1e-12
+) -> Tuple[int, int, int]:
+    """Count (wins, ties, losses) of method A against method B across paired scores."""
+    a = np.asarray(scores_a, dtype=np.float64)
+    b = np.asarray(scores_b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError("scores_a and scores_b must have the same length")
+    wins = int(np.count_nonzero(a > b + tolerance))
+    losses = int(np.count_nonzero(b > a + tolerance))
+    ties = int(a.shape[0] - wins - losses)
+    return wins, ties, losses
+
+
+def friedman_ranks(scores_by_method: Mapping[str, Sequence[float]]) -> Dict[str, float]:
+    """Average rank of every method across data sets (rank 1 = best, higher score = better).
+
+    Ties receive average ranks.  Useful for summarising a Table-III style
+    comparison in a single number per method.
+    """
+    methods = list(scores_by_method)
+    matrix = np.asarray([scores_by_method[m] for m in methods], dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError("Every method must provide the same number of scores")
+    n_methods, n_datasets = matrix.shape
+    ranks = np.zeros_like(matrix)
+    for j in range(n_datasets):
+        column = matrix[:, j]
+        order = np.argsort(-column, kind="mergesort")
+        col_ranks = np.empty(n_methods, dtype=np.float64)
+        i = 0
+        while i < n_methods:
+            k = i
+            while k + 1 < n_methods and column[order[k + 1]] == column[order[i]]:
+                k += 1
+            avg = (i + k) / 2.0 + 1.0
+            for t in range(i, k + 1):
+                col_ranks[order[t]] = avg
+            i = k + 1
+        ranks[:, j] = col_ranks
+    return {m: float(ranks[idx].mean()) for idx, m in enumerate(methods)}

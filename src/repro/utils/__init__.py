@@ -1,0 +1,21 @@
+"""Shared utilities: RNG handling, validation, timing, and lightweight logging."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timing import Stopwatch, timed
+from repro.utils.validation import (
+    check_array_2d,
+    check_labels,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "Stopwatch",
+    "timed",
+    "check_array_2d",
+    "check_labels",
+    "check_positive_int",
+    "check_probability",
+]

@@ -1,0 +1,28 @@
+"""Lightweight logging configuration for the library.
+
+The library never configures the root logger; callers opt in via
+:func:`get_logger` / :func:`enable_verbose_logging`.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_PREFIX = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a library logger namespaced under ``repro``."""
+    if name.startswith(_PREFIX):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_PREFIX}.{name}")
+
+
+def enable_verbose_logging(level: int = logging.INFO) -> None:
+    """Attach a stream handler to the ``repro`` logger (idempotent)."""
+    logger = logging.getLogger(_PREFIX)
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s"))
+        logger.addHandler(handler)

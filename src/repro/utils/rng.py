@@ -1,0 +1,55 @@
+"""Random-number-generator helpers.
+
+Every stochastic component in the library accepts a ``random_state`` argument
+which may be ``None``, an integer seed, or a :class:`numpy.random.Generator`.
+``ensure_rng`` normalises all three into a ``Generator`` so that experiments
+are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RandomState = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(random_state: RandomState = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``random_state``.
+
+    Parameters
+    ----------
+    random_state:
+        ``None`` (fresh entropy), an integer seed, or an existing generator
+        (returned unchanged).
+
+    Returns
+    -------
+    numpy.random.Generator
+    """
+    if random_state is None:
+        return np.random.default_rng()
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    if isinstance(random_state, (int, np.integer)):
+        if random_state < 0:
+            raise ValueError(f"random_state seed must be non-negative, got {random_state}")
+        return np.random.default_rng(int(random_state))
+    raise TypeError(
+        "random_state must be None, an int, or a numpy.random.Generator, "
+        f"got {type(random_state).__name__}"
+    )
+
+
+def spawn_rngs(random_state: RandomState, n: int) -> list:
+    """Spawn ``n`` independent generators derived from ``random_state``.
+
+    Useful for running repeated restarts whose streams do not overlap even
+    when executed out of order.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    rng = ensure_rng(random_state)
+    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(seed)) for seed in seeds]

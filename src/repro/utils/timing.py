@@ -1,0 +1,50 @@
+"""Timing helpers used by the scalability experiments (Fig. 6)."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Tuple
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    Example
+    -------
+    >>> sw = Stopwatch()
+    >>> with sw.lap("fit"):
+    ...     _ = sum(range(1000))
+    >>> sw.total() >= 0.0
+    True
+    """
+
+    laps: List[Tuple[str, float]] = field(default_factory=list)
+
+    @contextmanager
+    def lap(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.laps.append((name, time.perf_counter() - start))
+
+    def total(self) -> float:
+        """Total elapsed time across all laps, in seconds."""
+        return sum(elapsed for _, elapsed in self.laps)
+
+    def by_name(self) -> Dict[str, float]:
+        """Aggregate lap durations by lap name."""
+        out: Dict[str, float] = {}
+        for name, elapsed in self.laps:
+            out[name] = out.get(name, 0.0) + elapsed
+        return out
+
+
+def timed(fn: Callable, *args, **kwargs) -> Tuple[object, float]:
+    """Call ``fn(*args, **kwargs)`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start

@@ -1,0 +1,87 @@
+"""Input validation helpers shared across the library."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def check_array_2d(X, name: str = "X", dtype=None, allow_empty: bool = False) -> np.ndarray:
+    """Coerce ``X`` into a 2-D numpy array and validate its shape.
+
+    Parameters
+    ----------
+    X:
+        Array-like of shape ``(n, d)``.
+    name:
+        Name used in error messages.
+    dtype:
+        Optional dtype to cast to.
+    allow_empty:
+        Whether zero rows are acceptable.
+    """
+    arr = np.asarray(X) if dtype is None else np.asarray(X, dtype=dtype)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-dimensional, got shape {arr.shape}")
+    if not allow_empty and arr.shape[0] == 0:
+        raise ValueError(f"{name} must contain at least one row")
+    if arr.shape[1] == 0:
+        raise ValueError(f"{name} must contain at least one column")
+    return arr
+
+
+def check_labels(labels, n: Optional[int] = None, name: str = "labels") -> np.ndarray:
+    """Validate a 1-D integer label vector, optionally of fixed length ``n``."""
+    arr = np.asarray(labels)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError(f"{name} must not be empty")
+    if not np.issubdtype(arr.dtype, np.integer):
+        if np.issubdtype(arr.dtype, np.floating) and np.all(arr == arr.astype(np.int64)):
+            arr = arr.astype(np.int64)
+        else:
+            raise ValueError(f"{name} must be integer-valued")
+    if n is not None and arr.shape[0] != n:
+        raise ValueError(f"{name} must have length {n}, got {arr.shape[0]}")
+    return arr.astype(np.int64, copy=False)
+
+
+def check_positive_int(value, name: str, minimum: int = 1) -> int:
+    """Validate that ``value`` is an integer >= ``minimum``."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def check_probability(value, name: str, inclusive: bool = True) -> float:
+    """Validate that ``value`` lies in [0, 1] (or (0, 1) if not inclusive)."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"{name} must be a float, got {type(value).__name__}") from exc
+    if inclusive:
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {value}")
+    else:
+        if not 0.0 < value < 1.0:
+            raise ValueError(f"{name} must be in (0, 1), got {value}")
+    return value
+
+
+def check_feature_names(names: Optional[Sequence[str]], d: int) -> list:
+    """Return validated feature names, generating defaults when ``names`` is None."""
+    if names is None:
+        return [f"F{r}" for r in range(d)]
+    names = list(names)
+    if len(names) != d:
+        raise ValueError(f"Expected {d} feature names, got {len(names)}")
+    if len(set(names)) != len(names):
+        raise ValueError("Feature names must be unique")
+    return [str(n) for n in names]

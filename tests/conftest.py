@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import CategoricalDataset
+from repro.data.generators import make_categorical_clusters, make_nested_clusters
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_clusters() -> CategoricalDataset:
+    """Well-separated 3-cluster categorical data set (n=240, d=6)."""
+    return make_categorical_clusters(
+        n_objects=240, n_features=6, n_clusters=3, n_categories=4,
+        purity=0.9, random_state=0, name="small-clusters",
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_clusters() -> CategoricalDataset:
+    """Very small 2-cluster data set for the slow (online / quadratic) paths."""
+    return make_categorical_clusters(
+        n_objects=60, n_features=5, n_clusters=2, n_categories=3,
+        purity=0.92, random_state=1, name="tiny-clusters",
+    )
+
+
+@pytest.fixture(scope="session")
+def nested_dataset() -> CategoricalDataset:
+    """Nested multi-granular data set (3 coarse x 3 fine clusters)."""
+    return make_nested_clusters(
+        n_objects=600, n_features=8, n_coarse=3, fine_per_coarse=3,
+        n_categories=5, random_state=2,
+    )
+
+
+@pytest.fixture()
+def toy_codes() -> np.ndarray:
+    """A tiny hand-written coded matrix with an obvious 2-cluster structure."""
+    return np.array(
+        [
+            [0, 0, 0],
+            [0, 0, 1],
+            [0, 1, 0],
+            [0, 0, 0],
+            [2, 2, 2],
+            [2, 2, 1],
+            [2, 1, 2],
+            [2, 2, 2],
+        ],
+        dtype=np.int64,
+    )
+
+
+@pytest.fixture()
+def toy_labels() -> np.ndarray:
+    return np.array([0, 0, 0, 0, 1, 1, 1, 1], dtype=np.int64)

@@ -1,0 +1,138 @@
+"""Tests for the baseline clustering algorithms (Table III counterparts)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import ADC, FKMAWCW, GUDMM, AgglomerativeCategorical, KModes, ROCK, WOCIL
+from repro.metrics import clustering_accuracy
+
+ALL_BASELINES = [
+    ("kmodes", lambda k, seed: KModes(k, n_init=3, random_state=seed)),
+    ("rock", lambda k, seed: ROCK(k, random_state=seed)),
+    ("wocil", lambda k, seed: WOCIL(k, random_state=seed)),
+    ("gudmm", lambda k, seed: GUDMM(k, n_init=2, random_state=seed)),
+    ("fkmawcw", lambda k, seed: FKMAWCW(k, n_init=2, random_state=seed)),
+    ("adc", lambda k, seed: ADC(k, n_init=2, random_state=seed)),
+    ("hierarchical", lambda k, seed: AgglomerativeCategorical(k)),
+]
+
+
+@pytest.mark.parametrize("name,factory", ALL_BASELINES, ids=[n for n, _ in ALL_BASELINES])
+class TestCommonBehaviour:
+    def test_produces_full_labeling(self, name, factory, tiny_clusters):
+        model = factory(2, 0)
+        labels = model.fit_predict(tiny_clusters)
+        assert labels.shape == (tiny_clusters.n_objects,)
+        assert labels.min() >= 0
+
+    def test_recovers_well_separated_clusters(self, name, factory, tiny_clusters):
+        model = factory(2, 0)
+        labels = model.fit_predict(tiny_clusters)
+        assert clustering_accuracy(tiny_clusters.labels, labels) > 0.7
+
+    def test_accepts_raw_code_matrix(self, name, factory, tiny_clusters):
+        model = factory(2, 0)
+        labels = model.fit_predict(tiny_clusters.codes)
+        assert labels.shape[0] == tiny_clusters.n_objects
+
+
+class TestKModes:
+    def test_modes_shape(self, small_clusters):
+        model = KModes(3, n_init=3, random_state=0).fit(small_clusters)
+        assert model.modes_.shape == (3, small_clusters.n_features)
+
+    def test_cost_nonnegative_and_improves_with_restarts(self, small_clusters):
+        single = KModes(3, n_init=1, random_state=0).fit(small_clusters).cost_
+        multi = KModes(3, n_init=8, random_state=0).fit(small_clusters).cost_
+        assert multi <= single + 1e-9
+        assert multi >= 0.0
+
+    def test_huang_initialisation(self, tiny_clusters):
+        model = KModes(2, init="huang", n_init=3, random_state=0).fit(tiny_clusters)
+        assert model.n_clusters_ == 2
+
+    def test_invalid_init_rejected(self):
+        with pytest.raises(ValueError):
+            KModes(2, init="bogus")
+
+    def test_k_equal_one(self, tiny_clusters):
+        model = KModes(1, n_init=1, random_state=0).fit(tiny_clusters)
+        assert model.n_clusters_ == 1
+
+
+class TestROCK:
+    def test_theta_bounds(self):
+        with pytest.raises(ValueError):
+            ROCK(2, theta=1.5)
+
+    def test_sampling_path(self, small_clusters):
+        model = ROCK(3, max_sample=80, random_state=0).fit(small_clusters)
+        assert model.labels_.shape[0] == small_clusters.n_objects
+
+    def test_deterministic_without_sampling(self, tiny_clusters):
+        a = ROCK(2, random_state=0).fit_predict(tiny_clusters)
+        b = ROCK(2, random_state=1).fit_predict(tiny_clusters)
+        assert np.array_equal(a, b)
+
+
+class TestWOCIL:
+    def test_auto_k_does_not_exceed_initial(self, small_clusters):
+        model = WOCIL(3, initial_clusters=6, random_state=0).fit(small_clusters)
+        assert 3 <= model.n_clusters_ <= 6
+
+    def test_feature_weights_shape(self, tiny_clusters):
+        model = WOCIL(2, random_state=0).fit(tiny_clusters)
+        assert model.feature_weights_.shape == (tiny_clusters.n_features, model.mixing_weights_.shape[0])
+
+    def test_stable_across_seeds(self, tiny_clusters):
+        a = WOCIL(2, random_state=0).fit_predict(tiny_clusters)
+        b = WOCIL(2, random_state=99).fit_predict(tiny_clusters)
+        # Deterministic density-based seeding makes runs (almost) identical.
+        assert clustering_accuracy(a, b) > 0.9
+
+
+class TestGUDMMAndADC:
+    def test_value_distances_exposed(self, tiny_clusters):
+        model = GUDMM(2, n_init=1, random_state=0).fit(tiny_clusters)
+        assert len(model.value_distances_) == tiny_clusters.n_features
+
+    def test_adc_value_distances_exposed(self, tiny_clusters):
+        model = ADC(2, n_init=1, random_state=0).fit(tiny_clusters)
+        assert len(model.value_distances_) == tiny_clusters.n_features
+
+    def test_cost_decreases_with_more_restarts(self, tiny_clusters):
+        single = GUDMM(2, n_init=1, random_state=0).fit(tiny_clusters).cost_
+        multi = GUDMM(2, n_init=4, random_state=0).fit(tiny_clusters).cost_
+        assert multi <= single + 1e-9
+
+
+class TestFKMAWCW:
+    def test_memberships_are_stochastic(self, tiny_clusters):
+        model = FKMAWCW(2, n_init=2, random_state=0).fit(tiny_clusters)
+        assert model.memberships_.shape == (tiny_clusters.n_objects, 2)
+        assert np.allclose(model.memberships_.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_attribute_and_cluster_weights_normalised(self, tiny_clusters):
+        model = FKMAWCW(2, n_init=2, random_state=0).fit(tiny_clusters)
+        assert np.allclose(model.attribute_weights_.sum(axis=1), 1.0, atol=1e-6)
+        assert model.cluster_weights_.sum() == pytest.approx(1.0)
+
+    def test_invalid_fuzziness(self):
+        with pytest.raises(ValueError):
+            FKMAWCW(2, fuzziness=1.0)
+
+
+class TestHierarchical:
+    @pytest.mark.parametrize("linkage", ["single", "complete", "average"])
+    def test_all_linkages_run(self, linkage, tiny_clusters):
+        model = AgglomerativeCategorical(2, linkage=linkage).fit(tiny_clusters)
+        assert model.n_clusters_ == 2
+        assert len(model.merge_history_) == tiny_clusters.n_objects - 2
+
+    def test_size_guard(self, small_clusters):
+        with pytest.raises(ValueError):
+            AgglomerativeCategorical(2, max_objects=10).fit(small_clusters)
+
+    def test_invalid_linkage(self):
+        with pytest.raises(ValueError):
+            AgglomerativeCategorical(2, linkage="centroid")

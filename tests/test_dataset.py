@@ -1,0 +1,163 @@
+"""Unit tests for the CategoricalDataset container and encoders."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import CategoricalDataset
+from repro.data.encoders import FrequencyEncoder, OneHotEncoder, OrdinalEncoder
+
+
+def _simple_dataset():
+    values = [
+        ["red", "small", "yes"],
+        ["blue", "large", "no"],
+        ["red", "large", "?"],
+        ["green", "small", "yes"],
+    ]
+    return CategoricalDataset.from_values(values, labels=["a", "b", "a", "a"], name="toy")
+
+
+class TestFromValues:
+    def test_shapes(self):
+        ds = _simple_dataset()
+        assert ds.n_objects == 4
+        assert ds.n_features == 3
+
+    def test_missing_encoded_as_minus_one(self):
+        ds = _simple_dataset()
+        assert ds.codes[2, 2] == -1
+        assert ds.has_missing
+
+    def test_labels_mapped_to_ints(self):
+        ds = _simple_dataset()
+        assert ds.labels.tolist() == [0, 1, 0, 0]
+        assert ds.n_clusters_true == 2
+
+    def test_vocabulary_sizes(self):
+        ds = _simple_dataset()
+        assert ds.n_categories[0] == 3  # red, blue, green
+        assert ds.n_categories[2] == 2  # yes, no (missing not a category)
+
+    def test_roundtrip_to_values(self):
+        ds = _simple_dataset()
+        values = ds.to_values()
+        assert values[0, 0] == "red"
+        assert values[2, 2] is None
+
+    def test_value_counts(self):
+        ds = _simple_dataset()
+        counts = ds.value_counts(0)
+        assert counts["red"] == 2
+        assert counts["blue"] == 1
+
+
+class TestFromCodes:
+    def test_basic(self):
+        codes = np.array([[0, 1], [1, 0], [2, 1]])
+        ds = CategoricalDataset.from_codes(codes)
+        assert ds.n_categories == [3, 2]
+
+    def test_explicit_categories_can_exceed_observed(self):
+        ds = CategoricalDataset.from_codes(np.array([[0], [1]]), n_categories=[5])
+        assert ds.n_categories == [5]
+
+    def test_code_exceeding_vocabulary_rejected(self):
+        with pytest.raises(ValueError):
+            CategoricalDataset.from_codes(np.array([[4]]), n_categories=[2])
+
+    def test_wrong_categories_length_rejected(self):
+        with pytest.raises(ValueError):
+            CategoricalDataset.from_codes(np.array([[0, 0]]), n_categories=[2])
+
+    def test_label_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CategoricalDataset.from_codes(np.array([[0], [1]]), labels=[0])
+
+
+class TestTransformations:
+    def test_drop_missing(self):
+        ds = _simple_dataset()
+        clean = ds.drop_missing()
+        assert clean.n_objects == 3
+        assert not clean.has_missing
+
+    def test_subset_preserves_labels(self):
+        ds = _simple_dataset()
+        sub = ds.subset([0, 3])
+        assert sub.n_objects == 2
+        assert sub.labels.tolist() == [0, 0]
+
+    def test_select_features(self):
+        ds = _simple_dataset()
+        sub = ds.select_features([0, 2])
+        assert sub.n_features == 2
+        assert sub.feature_names == ["F0", "F2"]
+
+    def test_shuffled_preserves_content(self, rng):
+        ds = _simple_dataset()
+        shuffled = ds.shuffled(rng)
+        assert sorted(shuffled.codes[:, 0].tolist()) == sorted(ds.codes[:, 0].tolist())
+
+    def test_summary_matches_table2_columns(self):
+        summary = _simple_dataset().summary()
+        assert {"name", "d", "n", "k_star"} <= set(summary)
+
+
+class TestOneHotEncoder:
+    def test_shape_and_values(self):
+        ds = _simple_dataset()
+        encoded = OneHotEncoder().fit_transform(ds)
+        assert encoded.shape == (4, sum(ds.n_categories))
+        assert np.all(np.isin(encoded, [0.0, 1.0]))
+
+    def test_missing_rows_have_zero_block(self):
+        ds = _simple_dataset()
+        encoder = OneHotEncoder().fit(ds)
+        encoded = encoder.transform(ds)
+        block_start = ds.n_categories[0] + ds.n_categories[1]
+        assert encoded[2, block_start:].sum() == 0.0
+
+    def test_row_sums(self):
+        ds = _simple_dataset().drop_missing()
+        encoded = OneHotEncoder().fit_transform(ds)
+        assert np.allclose(encoded.sum(axis=1), ds.n_features)
+
+    def test_unfitted_transform_raises(self):
+        with pytest.raises(RuntimeError):
+            OneHotEncoder().transform(_simple_dataset())
+
+    def test_feature_count_mismatch_raises(self):
+        ds = _simple_dataset()
+        encoder = OneHotEncoder().fit(ds)
+        with pytest.raises(ValueError):
+            encoder.transform(ds.select_features([0]))
+
+
+class TestOrdinalEncoder:
+    def test_missing_becomes_nan(self):
+        ds = _simple_dataset()
+        encoded = OrdinalEncoder().fit_transform(ds)
+        assert np.isnan(encoded[2, 2])
+
+    def test_values_match_codes(self):
+        ds = _simple_dataset().drop_missing()
+        encoded = OrdinalEncoder().fit_transform(ds)
+        assert np.array_equal(encoded, ds.codes.astype(float))
+
+
+class TestFrequencyEncoder:
+    def test_frequencies_sum_to_one_per_feature(self):
+        ds = _simple_dataset()
+        encoder = FrequencyEncoder().fit(ds)
+        for freq in encoder._frequencies:
+            assert freq.sum() == pytest.approx(1.0)
+
+    def test_encoded_values_are_frequencies(self):
+        ds = _simple_dataset()
+        encoded = FrequencyEncoder().fit_transform(ds)
+        assert encoded[0, 0] == pytest.approx(0.5)  # "red" appears 2/4 times
+
+    def test_missing_becomes_nan(self):
+        ds = _simple_dataset()
+        encoded = FrequencyEncoder().fit_transform(ds)
+        assert np.isnan(encoded[2, 2])

@@ -1,0 +1,139 @@
+"""Tests for the distributed-computing layer (paper Sec. III-D)."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    GranularityAwareScheduler,
+    MultiGranularPartitioner,
+    RoundRobinScheduler,
+    intra_partition_similarity,
+    load_balance,
+    make_node_pool,
+    node_group_consistency,
+    simulate_distributed_execution,
+)
+from repro.distributed.simulation import make_tasks
+
+
+class TestNodePool:
+    def test_pool_size_and_dataset_view(self):
+        pool = make_node_pool(24, random_state=0)
+        assert len(pool) == 24
+        ds = pool.to_dataset()
+        assert ds.n_objects == 24
+        assert ds.n_features == 6
+
+    def test_throughput_positive(self):
+        pool = make_node_pool(10, random_state=1)
+        assert np.all(pool.throughputs() > 0)
+
+    def test_profiles_create_structure(self):
+        pool = make_node_pool(40, n_profiles=2, profile_purity=0.95, random_state=0)
+        ds = pool.to_dataset()
+        # Nodes of the same profile share most feature values -> few distinct rows.
+        distinct_rows = np.unique(ds.codes, axis=0).shape[0]
+        assert distinct_rows < 20
+
+    def test_empty_pool_rejected(self):
+        from repro.distributed.node import NodePool
+
+        with pytest.raises(ValueError):
+            NodePool().to_dataset()
+
+
+class TestPartitioner:
+    def test_plan_covers_all_objects(self, small_clusters):
+        plan = MultiGranularPartitioner(4, random_state=0).fit_partition(small_clusters)
+        assert plan.assignments.shape[0] == small_clusters.n_objects
+        assert set(np.unique(plan.assignments)) <= set(range(4))
+
+    def test_plan_is_reasonably_balanced(self, small_clusters):
+        plan = MultiGranularPartitioner(4, random_state=0).fit_partition(small_clusters)
+        assert load_balance(plan.assignments, 4) > 0.4
+
+    def test_partition_preserves_locality_better_than_random(self, small_clusters):
+        plan = MultiGranularPartitioner(3, random_state=0).fit_partition(small_clusters)
+        rng = np.random.default_rng(0)
+        random_assignment = rng.integers(0, 3, small_clusters.n_objects)
+        guided = intra_partition_similarity(small_clusters, plan.assignments)
+        random_quality = intra_partition_similarity(small_clusters, random_assignment)
+        assert guided > random_quality
+
+    def test_partition_indices_accessor(self, small_clusters):
+        plan = MultiGranularPartitioner(2, random_state=0).fit_partition(small_clusters)
+        total = sum(plan.partition_indices(p).size for p in range(2))
+        assert total == small_clusters.n_objects
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            MultiGranularPartitioner(2, balance_tolerance=0.5)
+
+
+class TestSchedulers:
+    def test_round_robin_assigns_all_tasks(self):
+        pool = make_node_pool(8, random_state=0)
+        tasks = make_tasks(40, random_state=0)
+        assignment = RoundRobinScheduler().assign(tasks, pool)
+        assert sum(len(v) for v in assignment.values()) == 40
+
+    def test_granularity_aware_groups_nodes(self):
+        pool = make_node_pool(24, n_profiles=3, random_state=0)
+        scheduler = GranularityAwareScheduler(n_groups=3, random_state=0)
+        groups = scheduler.group_nodes(pool)
+        assert groups.shape[0] == 24
+        assert np.unique(groups).size <= 3
+
+    def test_grouping_is_throughput_consistent(self):
+        pool = make_node_pool(32, n_profiles=4, profile_purity=0.95, random_state=0)
+        scheduler = GranularityAwareScheduler(n_groups=4, random_state=0)
+        groups = scheduler.group_nodes(pool)
+        rng = np.random.default_rng(0)
+        random_groups = rng.integers(0, 4, len(pool))
+        assert node_group_consistency(pool.throughputs(), groups) >= node_group_consistency(
+            pool.throughputs(), random_groups
+        ) - 0.05
+
+    def test_aware_scheduler_assigns_all_tasks(self):
+        pool = make_node_pool(16, random_state=0)
+        tasks = make_tasks(60, random_state=1)
+        assignment = GranularityAwareScheduler(n_groups=3, random_state=0).assign(tasks, pool)
+        assert sum(len(v) for v in assignment.values()) == 60
+
+
+class TestSimulation:
+    def test_makespan_positive_and_work_conserved(self):
+        pool = make_node_pool(8, random_state=0)
+        tasks = make_tasks(30, random_state=2)
+        assignment = RoundRobinScheduler().assign(tasks, pool)
+        report = simulate_distributed_execution(assignment, pool)
+        assert report.makespan > 0
+        assert report.total_work == pytest.approx(sum(t.demand for t in tasks))
+        assert 0.0 <= report.idle_fraction <= 1.0
+
+    def test_summary_keys(self):
+        pool = make_node_pool(4, random_state=0)
+        tasks = make_tasks(8, random_state=3)
+        report = simulate_distributed_execution(RoundRobinScheduler().assign(tasks, pool), pool)
+        assert {"makespan", "total_work", "idle_fraction"} == set(report.summary())
+
+
+class TestDistributedMetrics:
+    def test_load_balance_perfect(self):
+        assert load_balance(np.array([0, 1, 0, 1]), 2) == 1.0
+
+    def test_load_balance_skewed(self):
+        assert load_balance(np.array([0, 0, 0, 1]), 2) == pytest.approx(2 / 3)
+
+    def test_consistency_identical_groups(self):
+        throughputs = np.array([1.0, 1.0, 2.0, 2.0])
+        groups = np.array([0, 0, 1, 1])
+        assert node_group_consistency(throughputs, groups) == pytest.approx(1.0)
+
+    def test_consistency_mixed_groups_lower(self):
+        throughputs = np.array([1.0, 5.0, 1.0, 5.0])
+        mixed = np.array([0, 0, 1, 1])
+        split = np.array([0, 1, 0, 1])
+        assert node_group_consistency(throughputs, split) > node_group_consistency(
+            throughputs, mixed
+        )

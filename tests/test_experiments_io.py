@@ -1,0 +1,151 @@
+"""Tests for the experiment harness, reporting helpers and CSV I/O."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import load_csv, save_csv
+from repro.data.uci import load_vote
+from repro.experiments.config import ExperimentConfig, FAST_CONFIG, PAPER_CONFIG, active_config
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import linear_fit_r2
+from repro.experiments.reporting import format_mean_std, format_table, highlight_best
+from repro.experiments.runner import make_method, method_names, run_method_on_dataset
+from repro.experiments.table2 import run_table2
+from repro.experiments.table4 import run_table4
+from repro.metrics import INDEX_NAMES
+
+
+class TestConfig:
+    def test_presets_differ(self):
+        assert PAPER_CONFIG.n_restarts > FAST_CONFIG.n_restarts
+
+    def test_active_config_defaults_to_fast(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXPERIMENT_PRESET", raising=False)
+        assert active_config() is FAST_CONFIG
+
+    def test_active_config_paper(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXPERIMENT_PRESET", "paper")
+        assert active_config() is PAPER_CONFIG
+
+
+class TestRunner:
+    def test_method_names_match_paper_columns(self):
+        names = method_names()
+        assert len(names) == 9
+        assert names[0] == "K-MODES" and names[-1] == "MCDC+F."
+
+    def test_make_method_all_names(self):
+        for name in method_names():
+            model = make_method(name, n_clusters=2, seed=0)
+            assert hasattr(model, "fit_predict")
+
+    def test_make_method_unknown(self):
+        with pytest.raises(ValueError):
+            make_method("DBSCAN", 2, 0)
+
+    def test_run_method_on_dataset_aggregates(self):
+        dataset = load_vote()
+        stats = run_method_on_dataset("K-MODES", dataset, n_restarts=2, random_state=0)
+        assert set(stats) == set(INDEX_NAMES)
+        for index_stats in stats.values():
+            assert 0.0 <= index_stats["mean"] <= 1.0
+            assert index_stats["std"] >= 0.0
+
+
+class TestTable2:
+    def test_rows_and_verification(self):
+        rows = run_table2()
+        assert len(rows) == 8
+        assert all(row["n_measured"] == row["n_paper"] for row in rows)
+
+    def test_synthetic_rows_optional(self):
+        rows = run_table2(include_synthetic=False, verify=False)
+        assert "n_measured" not in rows[0]
+
+
+class TestTable4:
+    def test_symbols_from_synthetic_scores(self):
+        # Hand-made Table III results where MCDC+F. dominates everything.
+        datasets = ["D1", "D2", "D3", "D4", "D5", "D6", "D7", "D8"]
+        methods = method_names()
+        table3 = {
+            ds: {
+                m: {
+                    idx: {"mean": 0.9 if m == "MCDC+F." else 0.4, "std": 0.0}
+                    for idx in INDEX_NAMES
+                }
+                for m in methods
+            }
+            for ds in datasets
+        }
+        results = run_table4(table3_results=table3, config=FAST_CONFIG)
+        for counterpart, by_index in results.items():
+            for index in INDEX_NAMES:
+                assert by_index[index]["symbol"] == "+"
+
+
+class TestFig5AndFig6Helpers:
+    def test_fig5_on_single_easy_dataset(self):
+        config = ExperimentConfig(n_restarts=1, datasets=("Vot",))
+        results = run_fig5(config=config)
+        info = results["Vot"]
+        assert info["kappa"][0] <= info["k0"]
+        assert info["final_k"] >= 2
+
+    def test_linear_fit_r2_perfect_line(self):
+        assert linear_fit_r2([1, 2, 3, 4], [2, 4, 6, 8]) == pytest.approx(1.0)
+
+    def test_linear_fit_r2_constant(self):
+        assert linear_fit_r2([1, 2, 3], [5, 5, 5]) == 1.0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "b"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_mean_std(self):
+        assert format_mean_std(0.1234, 0.05) == "0.123±0.05"
+
+    def test_highlight_best_marks(self):
+        marks = highlight_best({"a": 0.9, "b": 0.5, "c": 0.7})
+        assert marks["a"] == "*"
+        assert marks["c"] == "_"
+        assert marks["b"] == ""
+
+
+class TestCsvIO:
+    def test_roundtrip(self, tmp_path, tiny_clusters):
+        path = tmp_path / "tiny.csv"
+        save_csv(tiny_clusters, path)
+        loaded = load_csv(path, label_column=-1, has_header=True)
+        assert loaded.n_objects == tiny_clusters.n_objects
+        assert loaded.n_features == tiny_clusters.n_features
+        assert loaded.n_clusters_true == tiny_clusters.n_clusters_true
+
+    def test_missing_values_parsed(self, tmp_path):
+        path = tmp_path / "missing.csv"
+        path.write_text("a,b,class\nx,?,0\ny,z,1\n")
+        ds = load_csv(path, has_header=True)
+        assert ds.has_missing
+        assert ds.n_objects == 2
+
+    def test_no_labels(self, tmp_path):
+        path = tmp_path / "nolabel.csv"
+        path.write_text("x,y\nx,z\n")
+        ds = load_csv(path, label_column=None)
+        assert ds.labels is None
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\nc\n")
+        with pytest.raises(ValueError):
+            load_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("\n")
+        with pytest.raises(ValueError):
+            load_csv(path)

@@ -1,0 +1,132 @@
+"""Cross-module integration tests and property-based invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import FKMAWCW, GUDMM, KModes
+from repro.core import MCDC, MCDCEncoder, MGCPL
+from repro.data.generators import make_categorical_clusters, make_nested_clusters
+from repro.data.uci import load_vote
+from repro.metrics import adjusted_rand_index, clustering_accuracy, evaluate_clustering
+
+
+class TestPipelineIntegration:
+    def test_mcdc_beats_or_matches_kmodes_on_nested_data(self, nested_dataset):
+        mcdc = MCDC(n_clusters=3, random_state=0).fit_predict(nested_dataset)
+        kmodes = KModes(3, n_init=5, random_state=0).fit_predict(nested_dataset)
+        ari_mcdc = adjusted_rand_index(nested_dataset.labels, mcdc)
+        ari_kmodes = adjusted_rand_index(nested_dataset.labels, kmodes)
+        assert ari_mcdc >= ari_kmodes - 0.2
+
+    def test_encoding_enhances_existing_clusterer(self):
+        dataset = load_vote()
+        encoder = MCDCEncoder(random_state=0).fit(dataset)
+        encoded = encoder.transform_dataset()
+        enhanced = GUDMM(2, n_init=2, random_state=0).fit_predict(encoded)
+        assert clustering_accuracy(dataset.labels, enhanced) > 0.8
+
+    def test_mcdc_plus_f_variant_runs_end_to_end(self):
+        dataset = load_vote()
+        model = MCDC(
+            n_clusters=2,
+            final_clusterer=FKMAWCW(2, n_init=2, random_state=0),
+            random_state=0,
+        ).fit(dataset)
+        scores = evaluate_clustering(dataset.labels, model.labels_)
+        assert scores["ACC"] > 0.7
+
+    def test_vote_dataset_end_to_end_quality(self):
+        dataset = load_vote()
+        labels = MCDC(n_clusters=2, random_state=1).fit_predict(dataset)
+        assert clustering_accuracy(dataset.labels, labels) > 0.85
+
+    def test_mgcpl_granularities_refine_towards_truth(self, nested_dataset):
+        result = MGCPL(random_state=1).fit(nested_dataset).result_
+        coarse_ari = adjusted_rand_index(nested_dataset.labels, result.final_labels)
+        first_ari = adjusted_rand_index(nested_dataset.labels, result.levels[0].labels)
+        # The coarsest level matches the coarse ground truth at least as well
+        # as the finest level does.
+        assert coarse_ari >= first_ari - 0.05
+
+
+class TestPropertyBased:
+    @given(
+        n_clusters=st.integers(2, 4),
+        n_features=st.integers(3, 6),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_mcdc_labels_are_valid_partition(self, n_clusters, n_features, seed):
+        dataset = make_categorical_clusters(
+            n_objects=90, n_features=n_features, n_clusters=n_clusters,
+            purity=0.9, random_state=seed,
+        )
+        labels = MCDC(n_clusters=n_clusters, n_init=2, random_state=seed).fit_predict(dataset)
+        assert labels.shape == (90,)
+        assert labels.min() >= 0
+        assert np.unique(labels).size <= n_clusters
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=8, deadline=None)
+    def test_mgcpl_kappa_monotone_property(self, seed):
+        dataset = make_categorical_clusters(
+            n_objects=120, n_features=5, n_clusters=3, purity=0.85, random_state=seed
+        )
+        kappa = MGCPL(random_state=seed).fit(dataset).kappa_
+        assert all(kappa[i] >= kappa[i + 1] for i in range(len(kappa) - 1))
+        assert kappa[-1] >= 1
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=6, deadline=None)
+    def test_kmodes_cost_never_increases_with_truth_init(self, seed):
+        dataset = make_categorical_clusters(
+            n_objects=80, n_features=4, n_clusters=2, purity=0.9, random_state=seed
+        )
+        model = KModes(2, n_init=4, random_state=seed).fit(dataset)
+        assert model.cost_ >= 0.0
+        assert model.labels_.shape[0] == 80
+
+    @given(seed=st.integers(0, 10_000), purity=st.floats(0.6, 0.95))
+    @settings(max_examples=8, deadline=None)
+    def test_higher_purity_never_hurts_mcdc_much(self, seed, purity):
+        noisy = make_categorical_clusters(
+            n_objects=100, n_features=5, n_clusters=2, purity=purity, random_state=seed
+        )
+        labels = MCDC(n_clusters=2, n_init=2, random_state=seed).fit_predict(noisy)
+        scores = evaluate_clustering(noisy.labels, labels)
+        assert scores["ACC"] >= 0.5  # never worse than chance on two balanced clusters
+
+
+class TestRobustness:
+    def test_mcdc_handles_missing_values(self):
+        dataset = make_categorical_clusters(150, 5, 2, purity=0.9, random_state=3)
+        codes = dataset.codes.copy()
+        rng = np.random.default_rng(0)
+        mask = rng.random(codes.shape) < 0.05
+        codes[mask] = -1
+        labels = MCDC(n_clusters=2, random_state=0).fit_predict(codes)
+        assert labels.shape[0] == 150
+
+    def test_mcdc_handles_constant_feature(self):
+        dataset = make_categorical_clusters(100, 4, 2, purity=0.9, random_state=4)
+        codes = np.hstack([dataset.codes, np.zeros((100, 1), dtype=np.int64)])
+        labels = MCDC(n_clusters=2, random_state=0).fit_predict(codes)
+        assert np.unique(labels).size <= 2
+
+    def test_mcdc_with_duplicate_objects(self):
+        base = make_categorical_clusters(40, 4, 2, purity=0.95, random_state=5)
+        codes = np.vstack([base.codes, base.codes])  # every object duplicated
+        labels = MCDC(n_clusters=2, random_state=0).fit_predict(codes)
+        assert labels.shape[0] == 80
+
+    def test_mcdc_more_clusters_than_natural(self, tiny_clusters):
+        labels = MCDC(n_clusters=5, random_state=0).fit_predict(tiny_clusters)
+        assert np.unique(labels).size <= 5
+
+    def test_nested_generator_with_uneven_features(self):
+        dataset = make_nested_clusters(n_objects=200, n_features=5, random_state=0)
+        assert dataset.n_features == 5
+        labels = MCDC(n_clusters=3, random_state=0).fit_predict(dataset)
+        assert labels.shape[0] == 200

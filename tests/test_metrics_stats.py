@@ -1,0 +1,212 @@
+"""Tests for the validity indices and the statistical tests."""
+
+import numpy as np
+import pytest
+import scipy.stats
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    INDEX_NAMES,
+    adjusted_mutual_information,
+    adjusted_rand_index,
+    clustering_accuracy,
+    contingency_matrix,
+    entropy_of_labels,
+    evaluate_clustering,
+    fowlkes_mallows,
+    mutual_information,
+    normalized_mutual_information,
+    purity,
+    rand_index,
+    relabel_to_match,
+)
+from repro.stats import friedman_ranks, wilcoxon_signed_rank, win_tie_loss
+
+TRUE = np.array([0, 0, 0, 1, 1, 1, 2, 2, 2])
+PERFECT = np.array([2, 2, 2, 0, 0, 0, 1, 1, 1])   # permuted but identical partition
+HALF = np.array([0, 0, 1, 1, 1, 1, 2, 2, 0])
+
+
+class TestContingency:
+    def test_matrix_sums_to_n(self):
+        table = contingency_matrix(TRUE, HALF)
+        assert table.sum() == TRUE.size
+
+    def test_relabel_to_match_recovers_permutation(self):
+        relabelled = relabel_to_match(TRUE, PERFECT)
+        assert np.array_equal(relabelled, TRUE)
+
+    def test_relabel_extra_clusters_get_fresh_ids(self):
+        pred = np.array([0, 0, 0, 1, 1, 1, 2, 2, 3])
+        relabelled = relabel_to_match(TRUE, pred)
+        assert np.unique(relabelled).size == 4
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert clustering_accuracy(TRUE, PERFECT) == 1.0
+
+    def test_partial(self):
+        acc = clustering_accuracy(TRUE, HALF)
+        assert 0.5 < acc < 1.0
+
+    def test_single_cluster_prediction(self):
+        assert clustering_accuracy(TRUE, np.zeros_like(TRUE)) == pytest.approx(1 / 3)
+
+    def test_purity_at_least_accuracy(self):
+        assert purity(TRUE, HALF) >= clustering_accuracy(TRUE, HALF) - 1e-12
+
+
+class TestPairCounting:
+    def test_ari_perfect(self):
+        assert adjusted_rand_index(TRUE, PERFECT) == pytest.approx(1.0)
+
+    def test_ari_single_cluster_is_zero(self):
+        assert adjusted_rand_index(TRUE, np.zeros_like(TRUE)) == pytest.approx(0.0)
+
+    def test_ari_random_near_zero(self):
+        rng = np.random.default_rng(0)
+        values = [
+            adjusted_rand_index(rng.integers(0, 3, 300), rng.integers(0, 3, 300))
+            for _ in range(5)
+        ]
+        assert abs(np.mean(values)) < 0.05
+
+    def test_rand_index_bounds(self):
+        assert 0.0 <= rand_index(TRUE, HALF) <= 1.0
+
+    def test_fm_perfect(self):
+        assert fowlkes_mallows(TRUE, PERFECT) == pytest.approx(1.0)
+
+    def test_fm_zero_when_no_agreeing_pairs(self):
+        truth = np.array([0, 0, 1, 1])
+        pred = np.array([0, 1, 0, 1])
+        assert fowlkes_mallows(truth, pred) == 0.0
+
+
+class TestInformation:
+    def test_entropy_uniform(self):
+        assert entropy_of_labels([0, 1, 2, 3]) == pytest.approx(np.log(4))
+
+    def test_mi_identical_equals_entropy(self):
+        assert mutual_information(TRUE, TRUE) == pytest.approx(entropy_of_labels(TRUE))
+
+    def test_nmi_bounds(self):
+        assert 0.0 <= normalized_mutual_information(TRUE, HALF) <= 1.0
+
+    def test_ami_perfect(self):
+        assert adjusted_mutual_information(TRUE, PERFECT) == pytest.approx(1.0)
+
+    def test_ami_single_cluster(self):
+        value = adjusted_mutual_information(TRUE, np.zeros_like(TRUE))
+        assert abs(value) < 1e-9
+
+    def test_ami_random_near_zero(self):
+        rng = np.random.default_rng(1)
+        values = [
+            adjusted_mutual_information(rng.integers(0, 3, 200), rng.integers(0, 3, 200))
+            for _ in range(5)
+        ]
+        assert abs(np.mean(values)) < 0.05
+
+    def test_unknown_average_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_mutual_information(TRUE, HALF, average="nope")
+
+
+class TestEvaluateClustering:
+    def test_keys(self):
+        scores = evaluate_clustering(TRUE, HALF)
+        assert set(scores) == set(INDEX_NAMES)
+
+    def test_perfect_all_ones(self):
+        scores = evaluate_clustering(TRUE, PERFECT)
+        for value in scores.values():
+            assert value == pytest.approx(1.0)
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_indices_bounded_property(self, seed):
+        rng = np.random.default_rng(seed)
+        truth = rng.integers(0, 4, 60)
+        pred = rng.integers(0, 5, 60)
+        scores = evaluate_clustering(truth, pred)
+        assert 0.0 <= scores["ACC"] <= 1.0
+        assert -1.0 <= scores["ARI"] <= 1.0
+        assert scores["AMI"] <= 1.0 + 1e-9
+        assert 0.0 <= scores["FM"] <= 1.0
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_permutation_invariance_property(self, seed):
+        rng = np.random.default_rng(seed)
+        truth = rng.integers(0, 3, 50)
+        pred = rng.integers(0, 3, 50)
+        permutation = rng.permutation(3)
+        permuted_pred = permutation[pred]
+        a = evaluate_clustering(truth, pred)
+        b = evaluate_clustering(truth, permuted_pred)
+        for index in INDEX_NAMES:
+            assert a[index] == pytest.approx(b[index], abs=1e-9)
+
+
+class TestWilcoxon:
+    def test_matches_scipy_exact(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(0.6, 0.1, 10)
+        y = x - rng.normal(0.05, 0.02, 10)
+        ours = wilcoxon_signed_rank(x, y)
+        theirs = scipy.stats.wilcoxon(x, y)
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-6)
+
+    def test_matches_scipy_normal_approximation(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(0.5, 0.1, 40)
+        y = x - rng.normal(0.03, 0.05, 40)
+        ours = wilcoxon_signed_rank(x, y)
+        theirs = scipy.stats.wilcoxon(x, y, correction=True, mode="approx")
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=0.05)
+
+    def test_identical_samples_not_significant(self):
+        x = [0.5, 0.6, 0.7]
+        result = wilcoxon_signed_rank(x, x)
+        assert result.p_value == 1.0
+        assert result.symbol() == "-"
+
+    def test_clear_difference_is_significant(self):
+        x = [0.9, 0.85, 0.92, 0.88, 0.91, 0.87, 0.9, 0.86]
+        y = [0.5, 0.45, 0.52, 0.48, 0.51, 0.47, 0.5, 0.46]
+        result = wilcoxon_signed_rank(x, y, alpha=0.1)
+        assert result.significant
+        assert result.symbol() == "+"
+
+    def test_one_sided_alternatives(self):
+        x = [0.9, 0.8, 0.85, 0.95, 0.9, 0.88]
+        y = [0.5, 0.4, 0.45, 0.55, 0.5, 0.48]
+        greater = wilcoxon_signed_rank(x, y, alternative="greater")
+        less = wilcoxon_signed_rank(x, y, alternative="less")
+        assert greater.p_value < 0.05
+        assert less.p_value > 0.9
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            wilcoxon_signed_rank([1, 2], [1, 2, 3])
+        with pytest.raises(ValueError):
+            wilcoxon_signed_rank([1, 2], [1, 2], alternative="bigger")
+        with pytest.raises(ValueError):
+            wilcoxon_signed_rank([1, 2], [1, 2], alpha=1.5)
+
+
+class TestRanking:
+    def test_win_tie_loss(self):
+        wins, ties, losses = win_tie_loss([0.9, 0.5, 0.7], [0.8, 0.5, 0.9])
+        assert (wins, ties, losses) == (1, 1, 1)
+
+    def test_friedman_ranks_order(self):
+        ranks = friedman_ranks({"good": [0.9, 0.8], "bad": [0.1, 0.2], "mid": [0.5, 0.5]})
+        assert ranks["good"] < ranks["mid"] < ranks["bad"]
+
+    def test_friedman_ranks_ties_averaged(self):
+        ranks = friedman_ranks({"a": [0.5], "b": [0.5]})
+        assert ranks["a"] == ranks["b"] == 1.5

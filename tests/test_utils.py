@@ -1,0 +1,189 @@
+"""Unit tests for repro.utils (rng, validation, timing, logging)."""
+
+import logging
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils.log import enable_verbose_logging, get_logger
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timing import Stopwatch, timed
+from repro.utils.validation import (
+    check_array_2d,
+    check_feature_names,
+    check_labels,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1000, 5)
+        b = ensure_rng(42).integers(0, 1000, 5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            ensure_rng(-1)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_streams_differ(self):
+        a, b = spawn_rngs(0, 2)
+        assert not np.array_equal(a.integers(0, 1000, 10), b.integers(0, 1000, 10))
+
+    def test_reproducible(self):
+        first = [g.integers(0, 100) for g in spawn_rngs(7, 3)]
+        second = [g.integers(0, 100) for g in spawn_rngs(7, 3)]
+        assert first == second
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestCheckArray2d:
+    def test_passthrough(self):
+        out = check_array_2d([[1, 2], [3, 4]])
+        assert out.shape == (2, 2)
+
+    def test_1d_promoted_to_column(self):
+        assert check_array_2d([1, 2, 3]).shape == (3, 1)
+
+    def test_3d_rejected(self):
+        with pytest.raises(ValueError):
+            check_array_2d(np.zeros((2, 2, 2)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            check_array_2d(np.zeros((0, 3)))
+
+    def test_empty_allowed_when_requested(self):
+        assert check_array_2d(np.zeros((0, 3)), allow_empty=True).shape == (0, 3)
+
+    def test_dtype_cast(self):
+        out = check_array_2d([[1.0, 2.0]], dtype=np.int64)
+        assert out.dtype == np.int64
+
+
+class TestCheckLabels:
+    def test_basic(self):
+        out = check_labels([0, 1, 1, 0])
+        assert out.dtype == np.int64
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            check_labels([0, 1], n=3)
+
+    def test_float_integral_ok(self):
+        assert check_labels([0.0, 1.0]).dtype == np.int64
+
+    def test_float_fractional_rejected(self):
+        with pytest.raises(ValueError):
+            check_labels([0.5, 1.0])
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            check_labels([[0, 1]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            check_labels([])
+
+
+class TestCheckPositiveInt:
+    def test_valid(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_below_minimum(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0, "x")
+
+    def test_custom_minimum(self):
+        assert check_positive_int(0, "x", minimum=0) == 0
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "x")
+
+    def test_float_rejected(self):
+        with pytest.raises(TypeError):
+            check_positive_int(2.5, "x")
+
+
+class TestCheckProbability:
+    def test_valid(self):
+        assert check_probability(0.5, "p") == 0.5
+
+    def test_bounds_inclusive(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+
+    def test_bounds_exclusive(self):
+        with pytest.raises(ValueError):
+            check_probability(0.0, "p", inclusive=False)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_probability(1.5, "p")
+
+    def test_non_numeric(self):
+        with pytest.raises(TypeError):
+            check_probability("a", "p")
+
+
+class TestCheckFeatureNames:
+    def test_defaults_generated(self):
+        assert check_feature_names(None, 3) == ["F0", "F1", "F2"]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            check_feature_names(["a"], 2)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            check_feature_names(["a", "a"], 2)
+
+
+class TestTiming:
+    def test_stopwatch_accumulates(self):
+        sw = Stopwatch()
+        with sw.lap("a"):
+            time.sleep(0.001)
+        with sw.lap("a"):
+            pass
+        assert sw.total() > 0
+        assert set(sw.by_name()) == {"a"}
+
+    def test_timed_returns_result_and_elapsed(self):
+        result, elapsed = timed(sum, [1, 2, 3])
+        assert result == 6
+        assert elapsed >= 0.0
+
+
+class TestLogging:
+    def test_get_logger_namespaced(self):
+        assert get_logger("foo").name == "repro.foo"
+        assert get_logger("repro.bar").name == "repro.bar"
+
+    def test_enable_verbose_idempotent(self):
+        enable_verbose_logging()
+        enable_verbose_logging()
+        handlers = logging.getLogger("repro").handlers
+        assert len([h for h in handlers if isinstance(h, logging.StreamHandler)]) == 1
