@@ -7,6 +7,8 @@ Public API highlights
 * :class:`repro.core.MGCPL` — multi-granular competitive penalization learning.
 * :class:`repro.core.CAME` — aggregation of the multi-granular encoding.
 * :class:`repro.core.MCDCEncoder` — expose the encoding to other clusterers.
+* :mod:`repro.engine` — the packed similarity engine every layer runs on
+  (``dense``/``chunked`` vectorised backends + the ``loop`` reference).
 * :mod:`repro.baselines` — k-modes, ROCK, WOCIL, GUDMM, FKMAWCW, ADC.
 * :mod:`repro.data` — data set container, generators and the UCI benchmarks.
 * :mod:`repro.metrics` — ACC, ARI, AMI, FM validity indices.

@@ -23,7 +23,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.base import ArrayOrDataset, BaseClusterer, coerce_codes, compact_labels
-from repro.distance.object_cluster import ClusterFrequencyTable
+from repro.engine import make_engine
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.validation import check_positive_int
 
@@ -43,6 +43,9 @@ class WOCIL(BaseClusterer):
         Whether to let the competition eliminate redundant clusters.
     max_iter:
         Maximum number of assignment sweeps.
+    engine:
+        Frequency-table backend (``"auto"``, ``"dense"``, ``"chunked"`` or
+        ``"loop"``); see :mod:`repro.engine`.
     random_state:
         Seed or generator (only used to break ties in seeding).
     """
@@ -53,6 +56,7 @@ class WOCIL(BaseClusterer):
         initial_clusters: Optional[int] = None,
         auto_k: bool = True,
         max_iter: int = 50,
+        engine: str = "auto",
         random_state: RandomState = None,
     ) -> None:
         self.n_clusters = check_positive_int(n_clusters, "n_clusters")
@@ -61,6 +65,7 @@ class WOCIL(BaseClusterer):
         self.initial_clusters = initial_clusters
         self.auto_k = bool(auto_k)
         self.max_iter = check_positive_int(max_iter, "max_iter")
+        self.engine = engine
         self.random_state = random_state
 
     def fit(self, X: ArrayOrDataset) -> "WOCIL":
@@ -71,7 +76,7 @@ class WOCIL(BaseClusterer):
         rng = ensure_rng(self.random_state)
 
         labels = self._density_seed_assignment(codes, n_categories, k0, rng)
-        table = ClusterFrequencyTable.from_labels(codes, labels, k0, n_categories)
+        table = make_engine(codes, n_categories, k0, kind=self.engine, labels=labels)
         mixing = np.full(k0, 1.0 / k0)
         alive = np.ones(k0, dtype=bool)
 
@@ -105,8 +110,8 @@ class WOCIL(BaseClusterer):
             if np.array_equal(new_labels, labels):
                 labels = new_labels
                 break
+            table.move_many(np.arange(n), labels, new_labels)
             labels = new_labels
-            table.rebuild(labels)
 
         self.labels_ = compact_labels(labels)
         self.n_clusters_ = int(np.unique(self.labels_).size)

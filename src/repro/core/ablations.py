@@ -23,7 +23,7 @@ from repro.core.base import ArrayOrDataset, BaseClusterer, coerce_codes, compact
 from repro.core.competitive import CompetitiveLearningClusterer
 from repro.core.mcdc import MCDC
 from repro.core.mgcpl import MGCPL
-from repro.distance.object_cluster import ClusterFrequencyTable
+from repro.engine import make_engine
 from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
 from repro.utils.validation import check_positive_int
 
@@ -156,15 +156,15 @@ class MCDC1(BaseClusterer):
         seeds = rng.choice(n, size=k, replace=False)
         labels = np.full(n, -1, dtype=np.int64)
         labels[seeds] = np.arange(k)
-        table = ClusterFrequencyTable.from_labels(codes, labels, k, n_categories)
+        table = make_engine(codes, n_categories, k, labels=labels)
 
         for _ in range(self.max_iter):
             sims = table.similarity_matrix()
             new_labels = sims.argmax(axis=1).astype(np.int64)
             if np.array_equal(new_labels, labels):
                 break
+            table.move_many(np.arange(n), labels, new_labels)
             labels = new_labels
-            table.rebuild(labels)
         sims = table.similarity_matrix()
         score = float(sims[np.arange(n), labels].sum())
         return labels, score

@@ -9,6 +9,11 @@ level is refreshed from the intra-cluster similarity it contributes
 (Eqs. 21-22), so that the level whose partition agrees best with the emerging
 clustering dominates the aggregation.  The alternating optimisation minimises
 the objective of Eq. 19 and converges in a finite number of iterations.
+
+Both alternating steps run on the packed frequency engine
+(:mod:`repro.engine`): the mode update reads the per-cluster level-value
+counts straight from the packed table, and the weighted Hamming assignment is
+one BLAS multiply against the engine's cached one-hot encoding of ``Gamma``.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.core.base import ArrayOrDataset, BaseClusterer, coerce_codes, compact_labels
+from repro.engine import ENGINES, FrequencyEngine, make_engine
 from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
 from repro.utils.validation import check_positive_int
 
@@ -38,6 +44,9 @@ class CAME(BaseClusterer):
         (Eq. 19) is kept.
     max_iter:
         Maximum number of alternating iterations per restart.
+    engine:
+        Frequency-table backend used for the mode/assignment steps
+        (``"auto"``, ``"dense"``, ``"chunked"`` or ``"loop"``).
     random_state:
         Seed or generator for mode initialisation.
 
@@ -59,30 +68,54 @@ class CAME(BaseClusterer):
         weighted: bool = True,
         n_init: int = 10,
         max_iter: int = 100,
+        engine: str = "auto",
         random_state: RandomState = None,
     ) -> None:
         self.n_clusters = check_positive_int(n_clusters, "n_clusters")
         self.weighted = bool(weighted)
         self.n_init = check_positive_int(n_init, "n_init")
         self.max_iter = check_positive_int(max_iter, "max_iter")
+        if engine != "auto" and engine not in ENGINES:
+            raise ValueError(
+                f"engine must be 'auto' or one of {sorted(ENGINES)}, got {engine!r}"
+            )
+        self.engine = engine
         self.random_state = random_state
 
     # ------------------------------------------------------------------ #
     def fit(self, X: ArrayOrDataset) -> "CAME":
         """Cluster the encoding ``Gamma`` (an ``(n, sigma)`` label matrix)."""
-        gamma, _ = coerce_codes(X)
+        gamma, n_categories = coerce_codes(X)
         n, sigma = gamma.shape
         if self.n_clusters > n:
             raise ValueError(f"n_clusters={self.n_clusters} exceeds number of objects {n}")
 
+        # CAME treats a missing entry as a regular category of its level
+        # (two missing entries agree), while the engine's Hamming kernel
+        # counts missing as always-mismatch.  Remapping missing values to a
+        # dedicated sentinel category per level keeps the assignment step,
+        # theta update and objective on one consistent metric; sentinel
+        # modes are mapped back to -1 in ``modes_``.
+        sentinel = np.asarray(n_categories, dtype=np.int64)
+        has_missing = bool((gamma < 0).any())
+        if has_missing:
+            gamma = np.where(gamma >= 0, gamma, sentinel[None, :])
+            n_categories = [m + 1 for m in n_categories]
+
+        # One engine serves every restart: the packed one-hot encoding of
+        # Gamma is immutable, only the cluster counts are rebuilt per step.
+        table = make_engine(gamma, n_categories, self.n_clusters, kind=self.engine)
+
         best: Optional[Tuple[float, np.ndarray, np.ndarray, np.ndarray, int]] = None
         for rng in spawn_rngs(self.random_state, self.n_init):
-            labels, theta, modes, objective, n_iter = self._single_run(gamma, rng)
+            labels, theta, modes, objective, n_iter = self._single_run(gamma, table, rng)
             if best is None or objective < best[0]:
                 best = (objective, labels, theta, modes, n_iter)
 
         assert best is not None
         objective, labels, theta, modes, n_iter = best
+        if has_missing:
+            modes = np.where(modes == sentinel[None, :], -1, modes)
         self.labels_ = labels
         self.n_clusters_ = int(np.unique(labels).size)
         self.feature_weights_ = theta
@@ -93,30 +126,30 @@ class CAME(BaseClusterer):
 
     # ------------------------------------------------------------------ #
     def _single_run(
-        self, gamma: np.ndarray, rng: np.random.Generator
+        self, gamma: np.ndarray, table: FrequencyEngine, rng: np.random.Generator
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, float, int]:
         n, sigma = gamma.shape
         k = self.n_clusters
         theta = np.full(sigma, 1.0 / sigma)
 
         modes = self._initial_modes(gamma, rng)
-        labels = self._assign(gamma, modes, theta)
+        labels = self._assign(table, modes, theta)
         labels = self._repair_empty(gamma, labels, rng)
 
         n_iter = 0
         for iteration in range(self.max_iter):
             n_iter = iteration + 1
-            modes = self._update_modes(gamma, labels)
+            modes = self._update_modes(table, labels)
             if self.weighted:
                 theta = self._update_theta(gamma, labels, modes)
-            new_labels = self._assign(gamma, modes, theta)
+            new_labels = self._assign(table, modes, theta)
             new_labels = self._repair_empty(gamma, new_labels, rng)
             if np.array_equal(new_labels, labels):
                 labels = new_labels
                 break
             labels = new_labels
 
-        modes = self._update_modes(gamma, labels)
+        modes = self._update_modes(table, labels)
         objective = self._objective(gamma, labels, modes, theta)
         return compact_labels(labels), theta, modes, objective, n_iter
 
@@ -131,19 +164,17 @@ class CAME(BaseClusterer):
         return gamma[idx].copy()
 
     @staticmethod
-    def _distances(gamma: np.ndarray, modes: np.ndarray, theta: np.ndarray) -> np.ndarray:
+    def _distances(
+        table: FrequencyEngine, modes: np.ndarray, theta: np.ndarray
+    ) -> np.ndarray:
         """Weighted Hamming distances of every object to every mode: ``(n, k)``."""
-        n, sigma = gamma.shape
-        k = modes.shape[0]
-        dist = np.zeros((n, k), dtype=np.float64)
-        for r in range(sigma):
-            mismatch = gamma[:, r][:, None] != modes[:, r][None, :]
-            dist += theta[r] * mismatch
-        return dist
+        return table.hamming_distances(modes, feature_weights=theta)
 
-    def _assign(self, gamma: np.ndarray, modes: np.ndarray, theta: np.ndarray) -> np.ndarray:
+    def _assign(
+        self, table: FrequencyEngine, modes: np.ndarray, theta: np.ndarray
+    ) -> np.ndarray:
         """Assignment step (Eq. 20)."""
-        return np.argmin(self._distances(gamma, modes, theta), axis=1).astype(np.int64)
+        return np.argmin(self._distances(table, modes, theta), axis=1).astype(np.int64)
 
     def _repair_empty(
         self, gamma: np.ndarray, labels: np.ndarray, rng: np.random.Generator
@@ -160,19 +191,16 @@ class CAME(BaseClusterer):
             labels[chosen] = cluster
         return labels
 
-    def _update_modes(self, gamma: np.ndarray, labels: np.ndarray) -> np.ndarray:
-        """Mode update: per cluster and level, the most frequent label value."""
-        n, sigma = gamma.shape
-        k = self.n_clusters
-        modes = np.zeros((k, sigma), dtype=np.int64)
-        for l in range(k):
-            members = gamma[labels == l]
-            if members.shape[0] == 0:
-                continue
-            for r in range(sigma):
-                values, counts = np.unique(members[:, r], return_counts=True)
-                modes[l, r] = values[np.argmax(counts)]
-        return modes
+    def _update_modes(self, table: FrequencyEngine, labels: np.ndarray) -> np.ndarray:
+        """Mode update: per cluster and level, the most frequent label value.
+
+        The engine returns ``-1`` for empty clusters; those rows fall back to
+        value 0 (as the original loop implementation left them), which keeps
+        an empty cluster's mode valid until :meth:`_repair_empty` refills it.
+        """
+        table.rebuild(labels)
+        modes = table.modes()
+        return np.where(modes >= 0, modes, 0)
 
     @staticmethod
     def _update_theta(gamma: np.ndarray, labels: np.ndarray, modes: np.ndarray) -> np.ndarray:

@@ -20,7 +20,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.base import ArrayOrDataset, BaseClusterer, coerce_codes, compact_labels
-from repro.distance.object_cluster import ClusterFrequencyTable
+from repro.engine import make_engine
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.validation import check_positive_int
 
@@ -39,6 +39,9 @@ class CompetitiveLearningClusterer(BaseClusterer):
         Upper bound on full passes over the data per run.
     prune_empty:
         Whether clusters that lose all their objects are removed.
+    engine:
+        Frequency-table backend (``"auto"``, ``"dense"``, ``"chunked"`` or
+        ``"loop"``); see :mod:`repro.engine`.
     random_state:
         Seed or generator controlling seed-object selection.
     """
@@ -49,6 +52,7 @@ class CompetitiveLearningClusterer(BaseClusterer):
         learning_rate: float = 0.03,
         max_sweeps: int = 50,
         prune_empty: bool = True,
+        engine: str = "auto",
         random_state: RandomState = None,
     ) -> None:
         self.n_initial_clusters = check_positive_int(n_initial_clusters, "n_initial_clusters")
@@ -57,6 +61,7 @@ class CompetitiveLearningClusterer(BaseClusterer):
         self.learning_rate = float(learning_rate)
         self.max_sweeps = check_positive_int(max_sweeps, "max_sweeps")
         self.prune_empty = bool(prune_empty)
+        self.engine = engine
         self.random_state = random_state
 
     def fit(self, X: ArrayOrDataset) -> "CompetitiveLearningClusterer":
@@ -69,7 +74,7 @@ class CompetitiveLearningClusterer(BaseClusterer):
         seeds = rng.choice(n, size=k, replace=False)
         labels = np.full(n, -1, dtype=np.int64)
         labels[seeds] = np.arange(k)
-        table = ClusterFrequencyTable.from_labels(codes, labels, k, n_categories)
+        table = make_engine(codes, n_categories, k, kind=self.engine, labels=labels)
 
         weights = np.ones(k, dtype=np.float64)          # u_l
         wins = np.zeros(k, dtype=np.float64)            # g_l of the previous sweep
@@ -89,8 +94,8 @@ class CompetitiveLearningClusterer(BaseClusterer):
 
             if np.array_equal(winners, labels):
                 break
+            table.move_many(np.arange(n), labels, winners)
             labels = winners
-            table.rebuild(labels)
             history.append(int(np.count_nonzero(table.sizes > 0)))
 
         if self.prune_empty:

@@ -38,12 +38,14 @@ class MCDCEncoder:
         k0: Optional[int] = None,
         learning_rate: float = 0.03,
         update_mode: str = "batch",
+        engine: str = "auto",
         use_feature_weights: bool = True,
         random_state: RandomState = None,
     ) -> None:
         self.k0 = k0
         self.learning_rate = learning_rate
         self.update_mode = update_mode
+        self.engine = engine
         self.use_feature_weights = use_feature_weights
         self.random_state = random_state
 
@@ -52,6 +54,7 @@ class MCDCEncoder:
             k0=self.k0,
             learning_rate=self.learning_rate,
             update_mode=self.update_mode,
+            engine=self.engine,
             use_feature_weights=self.use_feature_weights,
             random_state=self.random_state,
         ).fit(X)
@@ -108,6 +111,9 @@ class MCDC(BaseClusterer):
         must implement ``fit_predict`` on a :class:`CategoricalDataset`.
     update_mode:
         MGCPL execution engine (``"batch"`` or ``"online"``).
+    engine:
+        Frequency-table backend shared by MGCPL and CAME (``"auto"``,
+        ``"dense"``, ``"chunked"`` or ``"loop"``); see :mod:`repro.engine`.
     random_state:
         Seed or generator.
 
@@ -130,6 +136,7 @@ class MCDC(BaseClusterer):
         n_init: int = 10,
         final_clusterer: Optional[BaseClusterer] = None,
         update_mode: str = "batch",
+        engine: str = "auto",
         random_state: RandomState = None,
     ) -> None:
         self.n_clusters = check_positive_int(n_clusters, "n_clusters")
@@ -139,6 +146,7 @@ class MCDC(BaseClusterer):
         self.n_init = check_positive_int(n_init, "n_init")
         self.final_clusterer = final_clusterer
         self.update_mode = update_mode
+        self.engine = engine
         self.random_state = random_state
 
     def fit(self, X: ArrayOrDataset) -> "MCDC":
@@ -150,6 +158,7 @@ class MCDC(BaseClusterer):
             k0=self.k0,
             learning_rate=self.learning_rate,
             update_mode=self.update_mode,
+            engine=self.engine,
             random_state=encoder_seed,
         ).fit(X)
         self.kappa_ = self.encoder_.kappa_
@@ -164,6 +173,7 @@ class MCDC(BaseClusterer):
                 n_clusters=self.n_clusters,
                 weighted=self.weighted_aggregation,
                 n_init=self.n_init,
+                engine=self.engine,
                 random_state=aggregator_seed,
             )
             labels = came.fit_predict(self.encoding_)

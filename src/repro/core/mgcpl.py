@@ -37,7 +37,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.core.base import ArrayOrDataset, BaseClusterer, coerce_codes, compact_labels
-from repro.distance.object_cluster import ClusterFrequencyTable
+from repro.engine import ENGINES, FrequencyEngine, make_engine
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.validation import check_positive_int
 
@@ -54,12 +54,20 @@ def winning_ratio(wins_prev: np.ndarray, alive: Optional[np.ndarray] = None) -> 
     alive clusters) contribute to the damping — a cluster winning exactly its
     fair share is not penalized, while an early winner hogging most objects
     still is (the purpose of Eq. 7).
+
+    When ``alive`` is not given, the fair share is derived from the clusters
+    that actually won at least one object — counting eliminated or empty
+    cluster slots would inflate the denominator, shrink the fair share of
+    every real cluster, and under-penalise hogging clusters.
     """
     wins_prev = np.asarray(wins_prev, dtype=np.float64)
     total = wins_prev.sum()
     if total <= 0:
         return np.zeros_like(wins_prev)
-    n_alive = int(alive.sum()) if alive is not None else wins_prev.shape[0]
+    if alive is not None:
+        n_alive = int(np.asarray(alive).sum())
+    else:
+        n_alive = int(np.count_nonzero(wins_prev > 0))
     fair = total / max(n_alive, 1)
     return np.clip(wins_prev - fair, 0.0, None) / total
 
@@ -146,6 +154,10 @@ class MGCPL(BaseClusterer):
     update_mode:
         ``"batch"`` (vectorised, default) or ``"online"`` (faithful
         object-at-a-time updates).
+    engine:
+        Frequency-table backend: ``"auto"`` (default; dense or chunked by
+        problem size), ``"dense"``, ``"chunked"`` or ``"loop"`` (the slow
+        reference).  See :mod:`repro.engine`.
     use_feature_weights:
         Whether to use the feature-to-cluster weighting of Eqs. 14-18
         (disabling it falls back to the unweighted similarity of Eq. 1).
@@ -171,6 +183,7 @@ class MGCPL(BaseClusterer):
         max_sweeps: int = 30,
         max_epochs: int = 30,
         update_mode: str = "batch",
+        engine: str = "auto",
         use_feature_weights: bool = True,
         prominence_threshold: float = 0.1,
         max_starve_fraction: float = 0.5,
@@ -183,6 +196,10 @@ class MGCPL(BaseClusterer):
             raise ValueError(f"learning_rate must be in (0, 1), got {learning_rate}")
         if update_mode not in ("batch", "online"):
             raise ValueError(f"update_mode must be 'batch' or 'online', got {update_mode!r}")
+        if engine != "auto" and engine not in ENGINES:
+            raise ValueError(
+                f"engine must be 'auto' or one of {sorted(ENGINES)}, got {engine!r}"
+            )
         if not 0.0 <= prominence_threshold < 1.0:
             raise ValueError(
                 f"prominence_threshold must be in [0, 1), got {prominence_threshold}"
@@ -196,6 +213,7 @@ class MGCPL(BaseClusterer):
         self.max_sweeps = check_positive_int(max_sweeps, "max_sweeps")
         self.max_epochs = check_positive_int(max_epochs, "max_epochs")
         self.update_mode = update_mode
+        self.engine = engine
         self.use_feature_weights = bool(use_feature_weights)
         self.prominence_threshold = float(prominence_threshold)
         self.max_starve_fraction = float(max_starve_fraction)
@@ -332,7 +350,7 @@ class MGCPL(BaseClusterer):
         """
         n, d = codes.shape
         eta = self.learning_rate
-        table = ClusterFrequencyTable.from_labels(codes, labels_init, k, n_categories)
+        table = make_engine(codes, n_categories, k, kind=self.engine, labels=labels_init)
 
         # Reset of the learning statistics at the start of every epoch
         # (Algorithm 1, line 13): g_l = 0 and delta_l = 1 (=> u_l ~ 0.99).
@@ -406,14 +424,16 @@ class MGCPL(BaseClusterer):
                 starved_this_epoch = True
                 alive &= ~starving
                 delta[starving] = -20.0
+                table.move_many(np.arange(n), labels, winners)
                 labels = winners
-                table.rebuild(labels)
                 if self.use_feature_weights:
                     omega = table.feature_cluster_weights()
                 continue
 
+            # Incremental bulk update: only the objects that changed cluster
+            # touch the packed counts (equivalent to a full rebuild).
+            table.move_many(np.arange(n), labels, winners)
             labels = winners
-            table.rebuild(labels)
             if self.use_feature_weights:
                 omega = table.feature_cluster_weights()
         labels = self._reassign_dead_members(codes, table, labels, alive, omega)
@@ -422,7 +442,7 @@ class MGCPL(BaseClusterer):
     def _reassign_dead_members(
         self,
         codes: np.ndarray,
-        table: ClusterFrequencyTable,
+        table: FrequencyEngine,
         labels: np.ndarray,
         alive: np.ndarray,
         omega: np.ndarray,
@@ -516,7 +536,7 @@ class MGCPL(BaseClusterer):
         n, d = codes.shape
         eta = self.learning_rate
         labels = np.asarray(labels_init, dtype=np.int64).copy()
-        table = ClusterFrequencyTable.from_labels(codes, labels, k, n_categories)
+        table = make_engine(codes, n_categories, k, kind=self.engine, labels=labels)
 
         delta = np.ones(k, dtype=np.float64)
         wins_prev = np.zeros(k, dtype=np.float64)

@@ -7,23 +7,28 @@ values of ``F_r`` inside ``C_l``:
     s(x_ir, C_l) = Psi_{F_r = x_ir}(C_l) / Psi_{F_r != NULL}(C_l)      (Eq. 2)
 
 and the object-level similarity is the (optionally feature-weighted) average
-over features (Eq. 1 / Eq. 14).  :class:`ClusterFrequencyTable` maintains the
-per-cluster value-count tables needed to evaluate these similarities in
-vectorised form and to update them incrementally as objects move between
-clusters — the core data structure behind MGCPL, CAME's substrate, and the
-WOCIL baseline.
+over features (Eq. 1 / Eq. 14).
+
+The heavy lifting now lives in :mod:`repro.engine`, which packs the
+per-feature count tables into one ``(k, M)`` matrix and evaluates whole
+similarity sweeps with BLAS kernels.  :class:`ClusterFrequencyTable` is kept
+as a thin compatibility shim over the default :class:`repro.engine.packed.
+DenseEngine`: it preserves the historical views — ``counts`` as a list of
+``d`` per-feature ``(k, m_r)`` arrays and ``valid`` as a ``(d, k)`` matrix —
+on top of the packed storage, so existing callers and tests keep working
+unchanged while running on the vectorised backend.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 
-from repro.utils.validation import check_array_2d, check_labels, check_positive_int
+from repro.engine.packed import DenseEngine
 
 
-class ClusterFrequencyTable:
+class ClusterFrequencyTable(DenseEngine):
     """Per-cluster categorical value counts with incremental maintenance.
 
     Parameters
@@ -39,252 +44,27 @@ class ClusterFrequencyTable:
     ----------
     counts:
         List of ``d`` arrays of shape ``(k, m_r)``; ``counts[r][l, t]`` is
-        ``Psi_{F_r = f_rt}(C_l)``.
+        ``Psi_{F_r = f_rt}(C_l)``.  These are live views into the packed
+        ``(k, M)`` storage of the engine.
     valid:
-        ``(d, k)`` array; ``valid[r, l]`` is ``Psi_{F_r != NULL}(C_l)``.
+        ``(d, k)`` array; ``valid[r, l]`` is ``Psi_{F_r != NULL}(C_l)``
+        (a live transposed view of the engine's ``(k, d)`` matrix).
     sizes:
         ``(k,)`` array of cluster cardinalities ``n_l``.
     """
 
-    def __init__(self, codes, n_categories: Sequence[int], n_clusters: int) -> None:
-        self.codes = check_array_2d(codes, "codes", dtype=np.int64)
-        self.n_clusters = check_positive_int(n_clusters, "n_clusters")
-        self.n_categories = [int(m) for m in n_categories]
-        n, d = self.codes.shape
-        if len(self.n_categories) != d:
-            raise ValueError(f"n_categories must have length {d}, got {len(self.n_categories)}")
-        self.counts: List[np.ndarray] = [
-            np.zeros((self.n_clusters, m), dtype=np.float64) for m in self.n_categories
+    @property
+    def counts(self) -> List[np.ndarray]:
+        """Per-feature ``(k, m_r)`` count tables as views into the packed matrix."""
+        return [
+            self.packed[:, self.offsets[r] : self.offsets[r] + self.n_categories[r]]
+            for r in range(len(self.n_categories))
         ]
-        self.valid = np.zeros((d, self.n_clusters), dtype=np.float64)
-        self.sizes = np.zeros(self.n_clusters, dtype=np.float64)
 
-    # ------------------------------------------------------------------ #
-    # Construction / bulk updates
-    # ------------------------------------------------------------------ #
-    @classmethod
-    def from_labels(
-        cls, codes, labels, n_clusters: int, n_categories: Optional[Sequence[int]] = None
-    ) -> "ClusterFrequencyTable":
-        """Build the table from a full assignment vector (``-1`` = unassigned)."""
-        codes = check_array_2d(codes, "codes", dtype=np.int64)
-        labels = np.asarray(labels, dtype=np.int64)
-        if labels.shape[0] != codes.shape[0]:
-            raise ValueError("labels must have one entry per object")
-        if n_categories is None:
-            n_categories = [int(codes[:, r].max()) + 1 for r in range(codes.shape[1])]
-        table = cls(codes, n_categories, n_clusters)
-        table.rebuild(labels)
-        return table
-
-    def rebuild(self, labels) -> None:
-        """Recompute all counts from scratch for the assignment ``labels``."""
-        labels = np.asarray(labels, dtype=np.int64)
-        n, d = self.codes.shape
-        if labels.shape[0] != n:
-            raise ValueError("labels must have one entry per object")
-        assigned = labels >= 0
-        self.sizes[:] = np.bincount(labels[assigned], minlength=self.n_clusters)[: self.n_clusters]
-        for r in range(d):
-            col = self.codes[:, r]
-            mask = assigned & (col >= 0)
-            self.counts[r][:] = 0.0
-            np.add.at(self.counts[r], (labels[mask], col[mask]), 1.0)
-            self.valid[r] = self.counts[r].sum(axis=1)
-
-    # ------------------------------------------------------------------ #
-    # Incremental updates (online competitive learning)
-    # ------------------------------------------------------------------ #
-    def add(self, i: int, cluster: int) -> None:
-        """Add object ``i`` to ``cluster`` (updates counts in O(d))."""
-        self.sizes[cluster] += 1
-        row = self.codes[i]
-        for r in range(row.shape[0]):
-            code = row[r]
-            if code >= 0:
-                self.counts[r][cluster, code] += 1
-                self.valid[r, cluster] += 1
-
-    def remove(self, i: int, cluster: int) -> None:
-        """Remove object ``i`` from ``cluster``."""
-        if self.sizes[cluster] <= 0:
-            raise ValueError(f"Cluster {cluster} is already empty")
-        self.sizes[cluster] -= 1
-        row = self.codes[i]
-        for r in range(row.shape[0]):
-            code = row[r]
-            if code >= 0:
-                self.counts[r][cluster, code] -= 1
-                self.valid[r, cluster] -= 1
-
-    def move(self, i: int, source: int, target: int) -> None:
-        """Move object ``i`` from cluster ``source`` to ``target``."""
-        if source == target:
-            return
-        self.remove(i, source)
-        self.add(i, target)
-
-    # ------------------------------------------------------------------ #
-    # Similarities (Eqs. 1-2 and 14)
-    # ------------------------------------------------------------------ #
-    def similarity_object(
-        self,
-        x,
-        feature_weights: Optional[np.ndarray] = None,
-        exclude_cluster: Optional[int] = None,
-    ) -> np.ndarray:
-        """Similarity of one coded object ``x`` to every cluster: shape ``(k,)``.
-
-        ``exclude_cluster`` applies the leave-one-out correction described in
-        :meth:`similarity_matrix` for the cluster the object currently
-        belongs to.
-        """
-        x = np.asarray(x, dtype=np.int64).ravel()
-        d = len(self.counts)
-        if x.shape[0] != d:
-            raise ValueError(f"Object has {x.shape[0]} features, expected {d}")
-        sims = np.zeros(self.n_clusters, dtype=np.float64)
-        for r in range(d):
-            code = x[r]
-            if code < 0:
-                continue
-            denom = self.valid[r]
-            with np.errstate(divide="ignore", invalid="ignore"):
-                s_r = np.where(denom > 0, self.counts[r][:, code] / denom, 0.0)
-            if exclude_cluster is not None and exclude_cluster >= 0:
-                v = self.valid[r][exclude_cluster]
-                c = self.counts[r][exclude_cluster, code]
-                s_r[exclude_cluster] = (c - 1.0) / (v - 1.0) if v > 1 else 0.0
-            if feature_weights is not None:
-                s_r = s_r * feature_weights[r]
-            sims += s_r
-        return sims / d
-
-    def similarity_matrix(
-        self,
-        codes=None,
-        feature_weights: Optional[np.ndarray] = None,
-        exclude_labels: Optional[np.ndarray] = None,
-    ) -> np.ndarray:
-        """Similarity of every object to every cluster: shape ``(n, k)``.
-
-        Parameters
-        ----------
-        codes:
-            Optional alternative coded matrix (defaults to the matrix the
-            table was built from).
-        feature_weights:
-            Optional ``(d, k)`` per-feature/per-cluster weights ``omega_rl``
-            (Eq. 14); when omitted, plain Eq. 1 is used.
-        exclude_labels:
-            Optional current assignment of the objects.  When given, the
-            similarity of object ``i`` to its *own* cluster is computed
-            leave-one-out, i.e. ``(count - 1) / (valid - 1)``, so that an
-            object does not inflate its affiliation with the cluster it is
-            already in.  This is the similarity MGCPL uses during the
-            competition; see DESIGN.md §4.
-        """
-        codes = self.codes if codes is None else check_array_2d(codes, "codes", dtype=np.int64)
-        n, d = codes.shape
-        if d != len(self.counts):
-            raise ValueError(f"codes has {d} features, expected {len(self.counts)}")
-        if exclude_labels is not None:
-            exclude_labels = np.asarray(exclude_labels, dtype=np.int64)
-            if exclude_labels.shape[0] != n:
-                raise ValueError("exclude_labels must have one entry per object")
-        sims = np.zeros((n, self.n_clusters), dtype=np.float64)
-        rows = np.arange(n)
-        for r in range(d):
-            col = codes[:, r]
-            denom = self.valid[r]  # (k,)
-            with np.errstate(divide="ignore", invalid="ignore"):
-                inv = np.where(denom > 0, 1.0 / denom, 0.0)
-            # (n, k) frequency of each object's value in each cluster
-            safe = np.where(col >= 0, col, 0)
-            freq = self.counts[r][:, safe].T * inv[None, :]
-            freq[col < 0, :] = 0.0
-            if exclude_labels is not None:
-                assigned = (exclude_labels >= 0) & (col >= 0)
-                own = exclude_labels[assigned]
-                counts_own = self.counts[r][own, safe[assigned]]
-                valid_own = self.valid[r][own]
-                with np.errstate(divide="ignore", invalid="ignore"):
-                    loo = np.where(valid_own > 1, (counts_own - 1.0) / (valid_own - 1.0), 0.0)
-                freq[rows[assigned], own] = loo
-            if feature_weights is not None:
-                freq = freq * feature_weights[r][None, :]
-            sims += freq
-        return sims / d
-
-    # ------------------------------------------------------------------ #
-    # Feature-cluster weighting (Eqs. 15-18)
-    # ------------------------------------------------------------------ #
-    def inter_cluster_difference(self) -> np.ndarray:
-        """``alpha_rl`` (Eq. 15): ability of feature r to distinguish cluster l. Shape ``(d, k)``."""
-        d = len(self.counts)
-        alpha = np.zeros((d, self.n_clusters), dtype=np.float64)
-        for r in range(d):
-            counts = self.counts[r]  # (k, m)
-            total = counts.sum(axis=0)  # (m,)
-            valid = self.valid[r]  # (k,)
-            valid_total = valid.sum()
-            for l in range(self.n_clusters):
-                if valid[l] <= 0:
-                    continue
-                rest_valid = valid_total - valid[l]
-                p_in = counts[l] / valid[l]
-                p_out = (total - counts[l]) / rest_valid if rest_valid > 0 else np.zeros_like(p_in)
-                alpha[r, l] = np.sqrt(np.sum((p_in - p_out) ** 2)) / np.sqrt(2.0)
-        return alpha
-
-    def intra_cluster_similarity(self) -> np.ndarray:
-        """``beta_rl`` (Eq. 16): compactness of cluster l along feature r. Shape ``(d, k)``."""
-        d = len(self.counts)
-        beta = np.zeros((d, self.n_clusters), dtype=np.float64)
-        sizes = self.sizes
-        for r in range(d):
-            counts = self.counts[r]
-            valid = self.valid[r]
-            with np.errstate(divide="ignore", invalid="ignore"):
-                sum_sq = (counts**2).sum(axis=1)
-                beta[r] = np.where(
-                    (valid > 0) & (sizes > 0), sum_sq / (valid * np.maximum(sizes, 1.0)), 0.0
-                )
-        return beta
-
-    def feature_cluster_weights(self) -> np.ndarray:
-        """``omega_rl`` (Eqs. 17-18): probabilistic feature weights per cluster. Shape ``(d, k)``.
-
-        When every ``H_rl`` of a cluster is zero (e.g. an empty cluster), the
-        weights fall back to uniform ``1/d``.
-        """
-        H = self.inter_cluster_difference() * self.intra_cluster_similarity()
-        d = H.shape[0]
-        col_sums = H.sum(axis=0)  # (k,)
-        omega = np.empty_like(H)
-        for l in range(self.n_clusters):
-            if col_sums[l] > 0:
-                omega[:, l] = H[:, l] / col_sums[l]
-            else:
-                omega[:, l] = 1.0 / d
-        return omega
-
-    # ------------------------------------------------------------------ #
-    # Misc
-    # ------------------------------------------------------------------ #
-    def nonempty_clusters(self) -> np.ndarray:
-        """Indices of clusters that currently contain at least one object."""
-        return np.flatnonzero(self.sizes > 0)
-
-    def modes(self) -> np.ndarray:
-        """Per-cluster modal value of every feature: shape ``(k, d)`` (``-1`` for empty clusters)."""
-        d = len(self.counts)
-        out = np.full((self.n_clusters, d), -1, dtype=np.int64)
-        for r in range(d):
-            counts = self.counts[r]
-            has_any = counts.sum(axis=1) > 0
-            out[has_any, r] = np.argmax(counts[has_any], axis=1)
-        return out
+    @property
+    def valid(self) -> np.ndarray:
+        """``(d, k)`` non-missing counts (transposed view of the packed layout)."""
+        return self.valid_counts.T
 
 
 def object_cluster_similarity(

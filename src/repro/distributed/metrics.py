@@ -7,7 +7,7 @@ from typing import Dict
 import numpy as np
 
 from repro.core.base import ArrayOrDataset, coerce_codes
-from repro.distance.object_cluster import ClusterFrequencyTable
+from repro.engine import make_engine
 from repro.utils.validation import check_labels
 
 
@@ -21,7 +21,7 @@ def intra_partition_similarity(X: ArrayOrDataset, assignments) -> float:
     codes, n_categories = coerce_codes(X)
     assignments = check_labels(assignments, n=codes.shape[0], name="assignments")
     n_partitions = int(assignments.max()) + 1
-    table = ClusterFrequencyTable.from_labels(codes, assignments, n_partitions, n_categories)
+    table = make_engine(codes, n_categories, n_partitions, labels=assignments)
     sims = table.similarity_matrix()
     return float(sims[np.arange(codes.shape[0]), assignments].mean())
 

@@ -50,6 +50,11 @@ class MultiGranularPartitioner:
     balance_tolerance:
         Maximum allowed ratio between the largest partition and the ideal
         size before over-sized micro-clusters are split.
+    engine:
+        Frequency-table backend handed to MGCPL (``"auto"``, ``"dense"``,
+        ``"chunked"`` or ``"loop"``).  Pre-partitioning targets large data
+        sets, so ``"auto"`` switches to the memory-bounded chunked backend
+        once the one-hot footprint grows; see :mod:`repro.engine`.
     random_state:
         Seed or generator (passed to MGCPL and to the balancing step).
     """
@@ -58,12 +63,14 @@ class MultiGranularPartitioner:
         self,
         n_partitions: int,
         balance_tolerance: float = 1.5,
+        engine: str = "auto",
         random_state: RandomState = None,
     ) -> None:
         self.n_partitions = check_positive_int(n_partitions, "n_partitions")
         if balance_tolerance < 1.0:
             raise ValueError(f"balance_tolerance must be >= 1, got {balance_tolerance}")
         self.balance_tolerance = float(balance_tolerance)
+        self.engine = engine
         self.random_state = random_state
 
     def fit(self, X: ArrayOrDataset) -> "MultiGranularPartitioner":
@@ -71,7 +78,7 @@ class MultiGranularPartitioner:
         n = codes.shape[0]
         rng = ensure_rng(self.random_state)
 
-        mgcpl = MGCPL(random_state=int(rng.integers(0, 2**31 - 1)))
+        mgcpl = MGCPL(engine=self.engine, random_state=int(rng.integers(0, 2**31 - 1)))
         mgcpl.fit(X)
         self.mgcpl_result_: MGCPLResult = mgcpl.result_
 

@@ -1,0 +1,96 @@
+"""Packed similarity engine: the shared frequency-table backend.
+
+Every layer of the reproduction — MGCPL's competitive sweeps, CAME's
+aggregation substrate, the competitive-learning and WOCIL baselines, and the
+distributed pre-partitioner — evaluates the paper's object-cluster similarity
+(Eqs. 1-2 and 14-18) through one of the backends in this package:
+
+* :class:`DenseEngine` — packed ``(k, M)`` counts, cached one-hot, BLAS
+  similarity kernels; the default.
+* :class:`ChunkedEngine` — same kernels streamed over object blocks to bound
+  peak memory at large ``n`` (Fig. 6 scale and beyond).
+* :class:`LoopEngine` — the seed per-feature loop implementation, kept as the
+  numerical reference for property tests and benchmarks.
+
+Use :func:`make_engine` to construct a backend by name; ``"auto"`` picks
+dense or chunked from the one-hot footprint ``n * M``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.engine.base import FrequencyEngine
+from repro.engine.packed import ChunkedEngine, DenseEngine, PackedFrequencyEngine
+from repro.engine.reference import LoopEngine
+
+ENGINES = {
+    "dense": DenseEngine,
+    "chunked": ChunkedEngine,
+    "loop": LoopEngine,
+}
+
+#: ``n * M`` one-hot cells above which ``"auto"`` switches to the chunked
+#: backend (64M float64 cells = 512 MB).
+AUTO_DENSE_MAX_CELLS = 1 << 26
+
+
+def resolve_engine_kind(kind: str, n_objects: int, n_values: int) -> str:
+    """Resolve ``"auto"`` to a concrete backend name for a given problem size."""
+    if kind != "auto":
+        return kind
+    return "dense" if n_objects * n_values <= AUTO_DENSE_MAX_CELLS else "chunked"
+
+
+def make_engine(
+    codes,
+    n_categories: Sequence[int],
+    n_clusters: int,
+    kind: str = "auto",
+    labels: Optional[np.ndarray] = None,
+    **kwargs,
+) -> FrequencyEngine:
+    """Build a frequency-table backend.
+
+    Parameters
+    ----------
+    codes:
+        ``(n, d)`` integer-coded data matrix (``-1`` marks missing values).
+    n_categories:
+        Per-feature vocabulary sizes.
+    n_clusters:
+        Number of cluster slots.
+    kind:
+        ``"auto"`` (default), ``"dense"``, ``"chunked"`` or ``"loop"``.
+    labels:
+        Optional initial assignment; when given the engine is rebuilt from it.
+    kwargs:
+        Extra backend parameters (e.g. ``chunk_size`` for the chunked engine).
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    resolved = resolve_engine_kind(kind, codes.shape[0], int(sum(n_categories)))
+    try:
+        engine_cls = ENGINES[resolved]
+    except KeyError:
+        raise ValueError(
+            f"Unknown engine kind {kind!r}; expected 'auto' or one of {sorted(ENGINES)}"
+        ) from None
+    engine = engine_cls(codes, n_categories, n_clusters, **kwargs)
+    if labels is not None:
+        engine.rebuild(labels)
+    return engine
+
+
+__all__ = [
+    "FrequencyEngine",
+    "PackedFrequencyEngine",
+    "DenseEngine",
+    "ChunkedEngine",
+    "LoopEngine",
+    "ENGINES",
+    "AUTO_DENSE_MAX_CELLS",
+    "resolve_engine_kind",
+    "make_engine",
+]

@@ -1,0 +1,197 @@
+"""Backend protocol of the packed similarity engine.
+
+Every frequency-table backend maintains the per-cluster categorical value
+counts ``Psi_{F_r = f_rt}(C_l)`` behind the object-cluster similarity of the
+paper (Eqs. 1-2 and 14) and exposes the same operations:
+
+* bulk construction (:meth:`FrequencyEngine.rebuild`) and incremental
+  maintenance (``add`` / ``remove`` / ``move`` and their ``*_many`` bulk
+  variants) as objects move between clusters;
+* the object-cluster similarities (``similarity_matrix`` /
+  ``similarity_object``) including the leave-one-out correction used by
+  MGCPL's competition;
+* the feature-to-cluster weight statistics of Eqs. 15-18
+  (``inter_cluster_difference`` / ``intra_cluster_similarity`` /
+  ``feature_cluster_weights``);
+* weighted Hamming distances to arbitrary reference rows
+  (:meth:`FrequencyEngine.hamming_distances`), the primitive behind CAME's
+  mode assignment step (Eq. 20).
+
+Concrete backends live in :mod:`repro.engine.packed` (the vectorised
+``DenseEngine`` / ``ChunkedEngine`` production pair) and
+:mod:`repro.engine.reference` (the per-feature loop implementation kept as a
+numerical reference).  New backends (sparse, numba, multi-process) only need
+to implement this protocol to become drop-in replacements for every consumer:
+MGCPL, CAME, the competitive-learning baseline, WOCIL and the distributed
+pre-partitioner.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+class FrequencyEngine(ABC):
+    """Abstract per-cluster frequency-table backend.
+
+    Parameters
+    ----------
+    codes:
+        ``(n, d)`` integer-coded data matrix (``-1`` marks missing values).
+    n_categories:
+        Vocabulary size ``m_r`` of each feature.
+    n_clusters:
+        Number of cluster slots ``k`` (clusters may be empty).
+
+    Attributes
+    ----------
+    codes:
+        The data matrix the engine was built over.
+    n_categories:
+        Per-feature vocabulary sizes.
+    n_clusters:
+        Number of cluster slots.
+    sizes:
+        ``(k,)`` array of cluster cardinalities ``n_l``.
+    """
+
+    codes: np.ndarray
+    n_categories: List[int]
+    n_clusters: int
+    sizes: np.ndarray
+
+    # ------------------------------------------------------------------ #
+    # Construction / bulk updates
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_labels(
+        cls,
+        codes,
+        labels,
+        n_clusters: int,
+        n_categories: Optional[Sequence[int]] = None,
+        **kwargs,
+    ) -> "FrequencyEngine":
+        """Build the engine from a full assignment vector (``-1`` = unassigned)."""
+        codes = np.asarray(codes, dtype=np.int64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.shape[0] != codes.shape[0]:
+            raise ValueError("labels must have one entry per object")
+        if n_categories is None:
+            n_categories = [int(codes[:, r].max()) + 1 for r in range(codes.shape[1])]
+        engine = cls(codes, n_categories, n_clusters, **kwargs)
+        engine.rebuild(labels)
+        return engine
+
+    @abstractmethod
+    def rebuild(self, labels) -> None:
+        """Recompute all counts from scratch for the assignment ``labels``."""
+
+    # ------------------------------------------------------------------ #
+    # Incremental updates
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def add(self, i: int, cluster: int) -> None:
+        """Add object ``i`` to ``cluster``."""
+
+    @abstractmethod
+    def remove(self, i: int, cluster: int) -> None:
+        """Remove object ``i`` from ``cluster``."""
+
+    def move(self, i: int, source: int, target: int) -> None:
+        """Move object ``i`` from cluster ``source`` to ``target``."""
+        if source == target:
+            return
+        self.remove(i, source)
+        self.add(i, target)
+
+    @abstractmethod
+    def add_many(self, indices, clusters) -> None:
+        """Add objects ``indices`` to their respective ``clusters`` in bulk."""
+
+    @abstractmethod
+    def remove_many(self, indices, clusters) -> None:
+        """Remove objects ``indices`` from their respective ``clusters`` in bulk."""
+
+    def move_many(self, indices, sources, targets) -> None:
+        """Move objects between clusters in bulk.
+
+        ``sources`` entries of ``-1`` mean the object was unassigned (a plain
+        bulk add); objects whose source equals their target are skipped.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        sources = np.asarray(sources, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        changed = sources != targets
+        indices, sources, targets = indices[changed], sources[changed], targets[changed]
+        assigned = sources >= 0
+        if assigned.any():
+            self.remove_many(indices[assigned], sources[assigned])
+        if indices.size:
+            self.add_many(indices, targets)
+
+    # ------------------------------------------------------------------ #
+    # Similarities (Eqs. 1-2 and 14)
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def similarity_object(
+        self,
+        x,
+        feature_weights: Optional[np.ndarray] = None,
+        exclude_cluster: Optional[int] = None,
+    ) -> np.ndarray:
+        """Similarity of one coded object ``x`` to every cluster: shape ``(k,)``."""
+
+    @abstractmethod
+    def similarity_matrix(
+        self,
+        codes=None,
+        feature_weights: Optional[np.ndarray] = None,
+        exclude_labels: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Similarity of every object to every cluster: shape ``(n, k)``."""
+
+    # ------------------------------------------------------------------ #
+    # Feature-cluster weighting (Eqs. 15-18)
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def inter_cluster_difference(self) -> np.ndarray:
+        """``alpha_rl`` (Eq. 15): shape ``(d, k)``."""
+
+    @abstractmethod
+    def intra_cluster_similarity(self) -> np.ndarray:
+        """``beta_rl`` (Eq. 16): shape ``(d, k)``."""
+
+    @abstractmethod
+    def feature_cluster_weights(self) -> np.ndarray:
+        """``omega_rl`` (Eqs. 17-18): shape ``(d, k)``."""
+
+    # ------------------------------------------------------------------ #
+    # Misc
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def modes(self) -> np.ndarray:
+        """Per-cluster modal value of every feature: shape ``(k, d)``."""
+
+    @abstractmethod
+    def hamming_distances(
+        self, references, feature_weights: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Weighted Hamming distance of every object to each reference row.
+
+        ``references`` is a ``(q, d)`` coded matrix (e.g. cluster modes);
+        ``feature_weights`` an optional ``(d,)`` weight vector.  Missing
+        values (``-1``) on either side always count as a mismatch.  Returns
+        shape ``(n, q)``.
+        """
+
+    def nonempty_clusters(self) -> np.ndarray:
+        """Indices of clusters that currently contain at least one object."""
+        return np.flatnonzero(self.sizes > 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        n, d = self.codes.shape
+        return f"{type(self).__name__}(n={n}, d={d}, k={self.n_clusters})"

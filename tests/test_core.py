@@ -145,6 +145,18 @@ class TestCAME:
         came = CAME(n_clusters=3, weighted=False, random_state=0).fit(gamma)
         assert np.allclose(came.feature_weights_, 1.0 / gamma.shape[1])
 
+    def test_missing_values_in_encoding_treated_as_category(self):
+        # Two missing entries of the same level agree with each other (the
+        # historical semantics): rows sharing a missing pattern cluster
+        # together, and the sentinel is reported back as -1 in the modes.
+        gamma = np.array([[0, -1], [0, -1], [1, 2], [1, 2], [0, -1], [1, 2]])
+        came = CAME(n_clusters=2, n_init=3, random_state=0).fit(gamma)
+        assert came.n_clusters_ == 2
+        assert len(set(came.labels_[[0, 1, 4]])) == 1
+        assert len(set(came.labels_[[2, 3, 5]])) == 1
+        assert set(np.unique(came.modes_)) <= {-1, 0, 1, 2}
+        assert (came.modes_ == -1).any()
+
     def test_perfect_encoding_is_recovered(self):
         # A single-level encoding identical to the ground truth must be reproduced.
         labels = np.repeat([0, 1, 2], 20)

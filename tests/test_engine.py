@@ -1,0 +1,283 @@
+"""Property tests for the packed similarity engine.
+
+Two invariants protect every consumer of :mod:`repro.engine`:
+
+* **Incremental == rebuild** — any sequence of ``add`` / ``remove`` /
+  ``move`` / ``*_many`` updates leaves the packed counts bit-identical to a
+  table rebuilt from scratch for the resulting assignment.
+* **Packed == reference** — the vectorised backends reproduce the numerics
+  of the original per-feature loop implementation (kept as
+  :class:`repro.engine.reference.LoopEngine`) for similarities (plain,
+  weighted, leave-one-out), the Eqs. 15-18 weight statistics, modes and
+  weighted Hamming distances — on random data with missing values and on the
+  seed UCI benchmark data sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.uci.registry import load_dataset
+from repro.distance.object_cluster import ClusterFrequencyTable
+from repro.engine import (
+    AUTO_DENSE_MAX_CELLS,
+    ChunkedEngine,
+    DenseEngine,
+    LoopEngine,
+    make_engine,
+    resolve_engine_kind,
+)
+
+PACKED_KINDS = ["dense", "chunked"]
+
+
+def random_problem(seed: int, n=60, d=5, k=4, missing=0.15):
+    """Random coded matrix with missing values plus a partial assignment."""
+    rng = np.random.default_rng(seed)
+    cats = [int(rng.integers(2, 6)) for _ in range(d)]
+    codes = np.stack([rng.integers(0, m, size=n) for m in cats], axis=1)
+    codes[rng.random((n, d)) < missing] = -1
+    labels = rng.integers(-1, k, size=n)
+    return codes, cats, labels, rng
+
+
+def build_pair(kind: str, codes, cats, k, labels):
+    kwargs = {"chunk_size": 17} if kind == "chunked" else {}
+    packed = make_engine(codes, cats, k, kind=kind, labels=labels, **kwargs)
+    reference = make_engine(codes, cats, k, kind="loop", labels=labels)
+    return packed, reference
+
+
+def assert_state_equal(engine, reference):
+    """Packed counts must equal the reference's per-feature tables exactly."""
+    assert np.array_equal(engine.sizes, reference.sizes)
+    assert np.array_equal(engine.valid_counts, reference.valid.T)
+    for r, start in enumerate(engine.offsets):
+        segment = engine.packed[:, start : start + engine.n_categories[r]]
+        assert np.array_equal(segment, reference.counts[r])
+
+
+class TestIncrementalMatchesRebuild:
+    @pytest.mark.parametrize("kind", PACKED_KINDS)
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_update_sequence_is_bit_identical_to_rebuild(self, kind, seed):
+        codes, cats, labels, rng = random_problem(seed)
+        n, k = codes.shape[0], 4
+        engine = make_engine(codes, cats, k, kind=kind, labels=labels)
+        current = labels.copy()
+
+        for _ in range(30):
+            op = rng.integers(0, 3)
+            i = int(rng.integers(0, n))
+            if op == 0 and current[i] < 0:          # add an unassigned object
+                target = int(rng.integers(0, k))
+                engine.add(i, target)
+                current[i] = target
+            elif op == 1 and current[i] >= 0:       # remove an assigned object
+                engine.remove(i, int(current[i]))
+                current[i] = -1
+            elif op == 2 and current[i] >= 0:       # move between clusters
+                target = int(rng.integers(0, k))
+                engine.move(i, int(current[i]), target)
+                current[i] = target
+
+        rebuilt = make_engine(codes, cats, k, kind=kind, labels=current)
+        assert np.array_equal(engine.packed, rebuilt.packed)
+        assert np.array_equal(engine.valid_counts, rebuilt.valid_counts)
+        assert np.array_equal(engine.sizes, rebuilt.sizes)
+
+    @pytest.mark.parametrize("kind", PACKED_KINDS)
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_bulk_moves_are_bit_identical_to_rebuild(self, kind, seed):
+        codes, cats, labels, rng = random_problem(seed)
+        n, k = codes.shape[0], 4
+        engine = make_engine(codes, cats, k, kind=kind, labels=labels)
+
+        idx = rng.choice(n, size=n // 2, replace=False)
+        targets = rng.integers(0, k, size=idx.size)
+        engine.move_many(idx, labels[idx], targets)
+        new_labels = labels.copy()
+        new_labels[idx] = targets
+
+        rebuilt = make_engine(codes, cats, k, kind=kind, labels=new_labels)
+        assert np.array_equal(engine.packed, rebuilt.packed)
+        assert np.array_equal(engine.valid_counts, rebuilt.valid_counts)
+        assert np.array_equal(engine.sizes, rebuilt.sizes)
+
+    def test_remove_from_empty_cluster_raises(self):
+        codes, cats, labels, _ = random_problem(0, k=3)
+        engine = make_engine(codes, cats, 5, kind="dense", labels=np.zeros_like(labels))
+        with pytest.raises(ValueError):
+            engine.remove(0, 4)
+
+    def test_remove_many_from_empty_cluster_raises(self):
+        codes, cats, labels, _ = random_problem(1, k=3)
+        engine = make_engine(codes, cats, 5, kind="dense", labels=np.zeros_like(labels))
+        with pytest.raises(ValueError, match="already empty"):
+            engine.remove_many([0, 1], [4, 4])
+
+
+class TestPackedMatchesReference:
+    @pytest.mark.parametrize("kind", PACKED_KINDS)
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_similarities_match_on_random_missing_data(self, kind, seed):
+        codes, cats, labels, rng = random_problem(seed)
+        k = 4
+        engine, reference = build_pair(kind, codes, cats, k, labels)
+        omega = rng.random((codes.shape[1], k))
+
+        assert np.allclose(
+            engine.similarity_matrix(), reference.similarity_matrix(), atol=1e-12
+        )
+        assert np.allclose(
+            engine.similarity_matrix(feature_weights=omega, exclude_labels=labels),
+            reference.similarity_matrix(feature_weights=omega, exclude_labels=labels),
+            atol=1e-12,
+        )
+        i = int(rng.integers(0, codes.shape[0]))
+        assert np.allclose(
+            engine.similarity_object(codes[i], omega, int(labels[i])),
+            reference.similarity_object(codes[i], omega, int(labels[i])),
+            atol=1e-12,
+        )
+
+    @pytest.mark.parametrize("kind", PACKED_KINDS)
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_weight_statistics_and_modes_match(self, kind, seed):
+        codes, cats, labels, _ = random_problem(seed)
+        engine, reference = build_pair(kind, codes, cats, 4, labels)
+
+        assert np.allclose(
+            engine.inter_cluster_difference(),
+            reference.inter_cluster_difference(),
+            atol=1e-12,
+        )
+        assert np.allclose(
+            engine.intra_cluster_similarity(),
+            reference.intra_cluster_similarity(),
+            atol=1e-12,
+        )
+        assert np.allclose(
+            engine.feature_cluster_weights(),
+            reference.feature_cluster_weights(),
+            atol=1e-12,
+        )
+        assert np.array_equal(engine.modes(), reference.modes())
+
+    @pytest.mark.parametrize("kind", PACKED_KINDS)
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_hamming_distances_match(self, kind, seed):
+        codes, cats, labels, rng = random_problem(seed)
+        d = codes.shape[1]
+        engine, reference = build_pair(kind, codes, cats, 4, labels)
+        refs = np.stack([rng.integers(0, m, size=6) for m in cats], axis=1)
+        theta = rng.random(d)
+        assert np.allclose(
+            engine.hamming_distances(refs, theta),
+            reference.hamming_distances(refs, theta),
+            atol=1e-12,
+        )
+        assert np.allclose(
+            engine.hamming_distances(refs), reference.hamming_distances(refs), atol=1e-12
+        )
+
+
+@pytest.mark.parametrize("abbrev", ["Car", "Con", "Vot", "Bal"])
+@pytest.mark.parametrize("kind", PACKED_KINDS)
+def test_parity_on_seed_uci_datasets(abbrev, kind):
+    """Packed engines match the reference numerics on the Table II data sets.
+
+    Congressional-style missing values are injected into a copy of every
+    data set so the ``-1`` handling is exercised on real vocabularies too.
+    """
+    ds = load_dataset(abbrev)
+    rng = np.random.default_rng(99)
+    codes = ds.codes.copy()
+    codes[rng.random(codes.shape) < 0.08] = -1
+    cats = list(ds.n_categories)
+    k = 5
+    labels = rng.integers(0, k, size=codes.shape[0])
+    omega = rng.random((codes.shape[1], k))
+
+    engine, reference = build_pair(kind, codes, cats, k, labels)
+    assert_state_equal(engine, reference)
+    assert np.allclose(
+        engine.similarity_matrix(feature_weights=omega, exclude_labels=labels),
+        reference.similarity_matrix(feature_weights=omega, exclude_labels=labels),
+        atol=1e-12,
+    )
+    assert np.allclose(
+        engine.feature_cluster_weights(), reference.feature_cluster_weights(), atol=1e-12
+    )
+    assert np.array_equal(engine.modes(), reference.modes())
+
+
+class TestBackendSelection:
+    def test_auto_resolves_by_one_hot_footprint(self):
+        assert resolve_engine_kind("auto", 100, 50) == "dense"
+        assert resolve_engine_kind("auto", AUTO_DENSE_MAX_CELLS, 2) == "chunked"
+        assert resolve_engine_kind("dense", AUTO_DENSE_MAX_CELLS, 2) == "dense"
+
+    def test_make_engine_kinds(self):
+        codes, cats, labels, _ = random_problem(3)
+        assert isinstance(make_engine(codes, cats, 4, kind="dense"), DenseEngine)
+        assert isinstance(make_engine(codes, cats, 4, kind="chunked"), ChunkedEngine)
+        assert isinstance(make_engine(codes, cats, 4, kind="loop"), LoopEngine)
+
+    def test_unknown_kind_rejected(self):
+        codes, cats, _, _ = random_problem(4)
+        with pytest.raises(ValueError, match="engine kind"):
+            make_engine(codes, cats, 4, kind="gpu")
+
+    def test_vocabulary_violation_rejected(self):
+        codes = np.array([[0, 3]])
+        with pytest.raises(ValueError, match="vocabular"):
+            make_engine(codes, [1, 2], 2, kind="dense")
+
+    def test_external_codes_outside_vocab_rejected(self):
+        """Out-of-vocabulary values would bleed into the next feature's
+        packed columns, so they must raise instead of silently mismatching."""
+        codes, cats, labels, _ = random_problem(7)
+        engine = make_engine(codes, cats, 4, kind="dense", labels=labels)
+        bad = codes[:3].copy()
+        bad[0, 0] = cats[0]
+        with pytest.raises(ValueError, match="vocabular"):
+            engine.similarity_matrix(codes=bad)
+        with pytest.raises(ValueError, match="vocabular"):
+            engine.hamming_distances(bad)
+
+    def test_chunked_engine_streams_in_blocks(self):
+        codes, cats, labels, _ = random_problem(11, n=100)
+        chunked = make_engine(codes, cats, 4, kind="chunked", labels=labels, chunk_size=7)
+        dense = make_engine(codes, cats, 4, kind="dense", labels=labels)
+        assert np.allclose(chunked.similarity_matrix(), dense.similarity_matrix(), atol=1e-12)
+
+
+class TestCompatibilityShim:
+    def test_cluster_frequency_table_is_packed(self):
+        codes, cats, labels, _ = random_problem(5)
+        table = ClusterFrequencyTable.from_labels(codes, labels, 4, cats)
+        assert isinstance(table, DenseEngine)
+
+    def test_counts_and_valid_are_live_views(self):
+        codes, cats, labels, _ = random_problem(6)
+        table = ClusterFrequencyTable.from_labels(codes, labels, 4, cats)
+        counts_before = [c.copy() for c in table.counts]
+        i = int(np.flatnonzero(labels < 0)[0]) if (labels < 0).any() else 0
+        if labels[i] >= 0:
+            table.remove(i, int(labels[i]))
+        table.add(i, 2)
+        changed = any(
+            not np.array_equal(before, after)
+            for before, after in zip(counts_before, table.counts)
+        )
+        assert changed
+        assert np.array_equal(table.valid, table.valid_counts.T)
