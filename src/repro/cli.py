@@ -1,0 +1,133 @@
+"""Command-line entry point: ``python -m repro run <artefact> [options]``.
+
+Wraps the experiment drivers of :mod:`repro.experiments` (Tables II-IV,
+Figs. 4-6) behind one command with the shared knobs — preset selection,
+trial parallelism, dataset subsetting — so reproducing an artefact is::
+
+    python -m repro run table3 --n-jobs 4
+    python -m repro run fig5 --datasets Vot Bal
+    python -m repro run table4 --preset paper
+
+Installed as the ``repro-mcdc`` console script (see ``pyproject.toml``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+from typing import List, Optional
+
+ARTEFACTS = ("table2", "table3", "table4", "fig4", "fig5", "fig6")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the paper's tables and figures (MCDC / MGCPL / CAME).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser("run", help="regenerate one experiment artefact")
+    run.add_argument("artefact", choices=ARTEFACTS, help="which table/figure to regenerate")
+    run.add_argument(
+        "--preset",
+        choices=("fast", "paper"),
+        default=None,
+        help="experiment preset (default: $REPRO_EXPERIMENT_PRESET or 'fast')",
+    )
+    run.add_argument(
+        "--n-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallelize repeated trials over N processes (results are identical)",
+    )
+    run.add_argument(
+        "--n-restarts", type=int, default=None, metavar="N",
+        help="override the preset's number of restarts per method",
+    )
+    run.add_argument(
+        "--seed", type=int, default=None, metavar="SEED",
+        help="override the preset's base random seed",
+    )
+    run.add_argument(
+        "--datasets", nargs="+", default=None, metavar="NAME",
+        help="restrict to these data sets (table3/table4/fig4/fig5)",
+    )
+    run.add_argument(
+        "--methods", nargs="+", default=None, metavar="NAME",
+        help="restrict to these methods (table3)",
+    )
+    return parser
+
+
+def _resolve_config(args: argparse.Namespace):
+    from repro.experiments.config import FAST_CONFIG, PAPER_CONFIG, active_config
+
+    # --preset selects the config directly (no process-global env mutation,
+    # so in-process callers of main() keep their own active_config()).
+    if args.preset == "paper":
+        config = PAPER_CONFIG
+    elif args.preset == "fast":
+        config = FAST_CONFIG
+    else:
+        config = active_config()
+    overrides = {}
+    if args.n_jobs is not None:
+        if args.n_jobs < 1:
+            raise SystemExit("--n-jobs must be >= 1")
+        overrides["n_jobs"] = args.n_jobs
+    if args.n_restarts is not None:
+        overrides["n_restarts"] = args.n_restarts
+    if args.seed is not None:
+        overrides["random_state"] = args.seed
+    if args.datasets is not None:
+        overrides["datasets"] = tuple(args.datasets)
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    return config
+
+
+def _run(args: argparse.Namespace) -> int:
+    config = _resolve_config(args)
+    artefact = args.artefact
+
+    if artefact == "table2":
+        from repro.experiments import table2
+
+        table2.main()
+    elif artefact == "table3":
+        from repro.experiments import table3
+
+        methods = list(args.methods) if args.methods else None
+        table3.main(config=config, methods=methods)
+    elif artefact == "table4":
+        from repro.experiments import table4
+
+        table4.main(config=config)
+    elif artefact == "fig4":
+        from repro.experiments import fig4
+
+        fig4.main(config=config)
+    elif artefact == "fig5":
+        from repro.experiments import fig5
+
+        fig5.main(config=config)
+    elif artefact == "fig6":
+        from repro.experiments import fig6
+
+        fig6.main(config=config)
+    else:  # pragma: no cover - argparse already rejects unknown artefacts
+        raise SystemExit(f"unknown artefact {artefact!r}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _run(args)
+    return 0  # pragma: no cover - argparse requires a subcommand
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -23,7 +23,8 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.core.base import ArrayOrDataset, BaseClusterer, coerce_codes, compact_labels
-from repro.engine import ENGINES, FrequencyEngine, make_engine
+from repro.core.sync import InProcessShardExecutor
+from repro.engine import ENGINES, EngineState
 from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
 from repro.utils.validation import check_positive_int
 
@@ -102,15 +103,20 @@ class CAME(BaseClusterer):
             gamma = np.where(gamma >= 0, gamma, sentinel[None, :])
             n_categories = [m + 1 for m in n_categories]
 
-        # One engine serves every restart: the packed one-hot encoding of
+        # One executor serves every restart: the packed one-hot encoding of
         # Gamma is immutable, only the cluster counts are rebuilt per step.
-        table = make_engine(gamma, n_categories, self.n_clusters, kind=self.engine)
-
-        best: Optional[Tuple[float, np.ndarray, np.ndarray, np.ndarray, int]] = None
-        for rng in spawn_rngs(self.random_state, self.n_init):
-            labels, theta, modes, objective, n_iter = self._single_run(gamma, table, rng)
-            if best is None or objective < best[0]:
-                best = (objective, labels, theta, modes, n_iter)
+        # The default executor holds one in-process shard (the serial path);
+        # ShardedCAME swaps in the process-pool coordinator.
+        executor = self._make_executor(gamma, n_categories)
+        try:
+            executor.begin_epoch(self.n_clusters, None)
+            best: Optional[Tuple[float, np.ndarray, np.ndarray, np.ndarray, int]] = None
+            for rng in spawn_rngs(self.random_state, self.n_init):
+                labels, theta, modes, objective, n_iter = self._single_run(gamma, executor, rng)
+                if best is None or objective < best[0]:
+                    best = (objective, labels, theta, modes, n_iter)
+        finally:
+            executor.close()
 
         assert best is not None
         objective, labels, theta, modes, n_iter = best
@@ -125,31 +131,43 @@ class CAME(BaseClusterer):
         return self
 
     # ------------------------------------------------------------------ #
+    def _make_executor(self, gamma: np.ndarray, n_categories) -> InProcessShardExecutor:
+        """Shard executor for the assignment/mode steps (one in-process shard)."""
+        return InProcessShardExecutor(gamma, n_categories, engine=self.engine)
+
     def _single_run(
-        self, gamma: np.ndarray, table: FrequencyEngine, rng: np.random.Generator
+        self, gamma: np.ndarray, executor, rng: np.random.Generator
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, float, int]:
+        """One alternating-optimisation restart as LocalUpdate/GlobalStep rounds.
+
+        The assignment step (Eq. 20) and the count rebuild behind the mode
+        update run shard-locally on the executor; the mode argmax, the theta
+        update (Eqs. 21-22), the empty-cluster repair and the objective are
+        the GlobalStep, evaluated by the coordinator on the merged counts and
+        the full label vector.  Per-object distances are independent of the
+        sharding, so the sharded path is bit-identical to the serial one.
+        """
         n, sigma = gamma.shape
-        k = self.n_clusters
         theta = np.full(sigma, 1.0 / sigma)
 
         modes = self._initial_modes(gamma, rng)
-        labels = self._assign(table, modes, theta)
+        labels = executor.hamming_assign(modes, theta)
         labels = self._repair_empty(gamma, labels, rng)
 
         n_iter = 0
         for iteration in range(self.max_iter):
             n_iter = iteration + 1
-            modes = self._update_modes(table, labels)
+            modes = self._modes_from_state(executor.rebuild(labels))
             if self.weighted:
                 theta = self._update_theta(gamma, labels, modes)
-            new_labels = self._assign(table, modes, theta)
+            new_labels = executor.hamming_assign(modes, theta)
             new_labels = self._repair_empty(gamma, new_labels, rng)
             if np.array_equal(new_labels, labels):
                 labels = new_labels
                 break
             labels = new_labels
 
-        modes = self._update_modes(table, labels)
+        modes = self._modes_from_state(executor.rebuild(labels))
         objective = self._objective(gamma, labels, modes, theta)
         return compact_labels(labels), theta, modes, objective, n_iter
 
@@ -162,19 +180,6 @@ class CAME(BaseClusterer):
             return unique_rows[idx].copy()
         idx = rng.choice(gamma.shape[0], size=k, replace=gamma.shape[0] < k)
         return gamma[idx].copy()
-
-    @staticmethod
-    def _distances(
-        table: FrequencyEngine, modes: np.ndarray, theta: np.ndarray
-    ) -> np.ndarray:
-        """Weighted Hamming distances of every object to every mode: ``(n, k)``."""
-        return table.hamming_distances(modes, feature_weights=theta)
-
-    def _assign(
-        self, table: FrequencyEngine, modes: np.ndarray, theta: np.ndarray
-    ) -> np.ndarray:
-        """Assignment step (Eq. 20)."""
-        return np.argmin(self._distances(table, modes, theta), axis=1).astype(np.int64)
 
     def _repair_empty(
         self, gamma: np.ndarray, labels: np.ndarray, rng: np.random.Generator
@@ -191,15 +196,15 @@ class CAME(BaseClusterer):
             labels[chosen] = cluster
         return labels
 
-    def _update_modes(self, table: FrequencyEngine, labels: np.ndarray) -> np.ndarray:
+    @staticmethod
+    def _modes_from_state(state: EngineState) -> np.ndarray:
         """Mode update: per cluster and level, the most frequent label value.
 
-        The engine returns ``-1`` for empty clusters; those rows fall back to
+        The state reports ``-1`` for empty clusters; those rows fall back to
         value 0 (as the original loop implementation left them), which keeps
         an empty cluster's mode valid until :meth:`_repair_empty` refills it.
         """
-        table.rebuild(labels)
-        modes = table.modes()
+        modes = state.modes()
         return np.where(modes >= 0, modes, 0)
 
     @staticmethod

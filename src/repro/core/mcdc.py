@@ -49,15 +49,19 @@ class MCDCEncoder:
         self.use_feature_weights = use_feature_weights
         self.random_state = random_state
 
-    def fit(self, X: ArrayOrDataset) -> "MCDCEncoder":
-        self.mgcpl_ = MGCPL(
+    def _build_mgcpl(self) -> MGCPL:
+        """The MGCPL instance the encoder runs; the sharded encoder overrides this."""
+        return MGCPL(
             k0=self.k0,
             learning_rate=self.learning_rate,
             update_mode=self.update_mode,
             engine=self.engine,
             use_feature_weights=self.use_feature_weights,
             random_state=self.random_state,
-        ).fit(X)
+        )
+
+    def fit(self, X: ArrayOrDataset) -> "MCDCEncoder":
+        self.mgcpl_ = self._build_mgcpl().fit(X)
         self.result_: MGCPLResult = self.mgcpl_.result_
         self.encoding_ = self.result_.encoding
         self.kappa_ = self.result_.kappa
@@ -149,18 +153,32 @@ class MCDC(BaseClusterer):
         self.engine = engine
         self.random_state = random_state
 
+    def _build_encoder(self, seed: int) -> MCDCEncoder:
+        """The MGCPL encoder stage; ``ShardedMCDC`` overrides this hook."""
+        return MCDCEncoder(
+            k0=self.k0,
+            learning_rate=self.learning_rate,
+            update_mode=self.update_mode,
+            engine=self.engine,
+            random_state=seed,
+        )
+
+    def _build_aggregator(self, seed: int) -> CAME:
+        """The CAME aggregation stage; ``ShardedMCDC`` overrides this hook."""
+        return CAME(
+            n_clusters=self.n_clusters,
+            weighted=self.weighted_aggregation,
+            n_init=self.n_init,
+            engine=self.engine,
+            random_state=seed,
+        )
+
     def fit(self, X: ArrayOrDataset) -> "MCDC":
         rng = ensure_rng(self.random_state)
         encoder_seed = int(rng.integers(0, 2**31 - 1))
         aggregator_seed = int(rng.integers(0, 2**31 - 1))
 
-        self.encoder_ = MCDCEncoder(
-            k0=self.k0,
-            learning_rate=self.learning_rate,
-            update_mode=self.update_mode,
-            engine=self.engine,
-            random_state=encoder_seed,
-        ).fit(X)
+        self.encoder_ = self._build_encoder(encoder_seed).fit(X)
         self.kappa_ = self.encoder_.kappa_
         self.encoding_ = self.encoder_.encoding_
 
@@ -169,13 +187,7 @@ class MCDC(BaseClusterer):
             labels = self.final_clusterer.fit_predict(encoded)
             self.aggregator_ = self.final_clusterer
         else:
-            came = CAME(
-                n_clusters=self.n_clusters,
-                weighted=self.weighted_aggregation,
-                n_init=self.n_init,
-                engine=self.engine,
-                random_state=aggregator_seed,
-            )
+            came = self._build_aggregator(aggregator_seed)
             labels = came.fit_predict(self.encoding_)
             self.aggregator_ = came
 

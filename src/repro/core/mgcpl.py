@@ -27,6 +27,12 @@ Two execution engines are provided:
   object-cluster similarities at once and applies the winner/rival updates in
   aggregate.  Preserves the competitive-penalization semantics while scaling
   to the paper's 200 000-object synthetic data set (Fig. 6).
+
+The batch epoch is expressed as a bulk-synchronous LocalUpdate/GlobalStep
+loop (:mod:`repro.core.sync`): shard-local competition sweeps feed a global
+count merge and broadcast.  Serially it runs with one in-process shard; the
+distributed runtime (:mod:`repro.distributed.runtime`) drives the identical
+loop over a pool of worker processes.
 """
 
 from __future__ import annotations
@@ -37,7 +43,8 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.core.base import ArrayOrDataset, BaseClusterer, coerce_codes, compact_labels
-from repro.engine import ENGINES, FrequencyEngine, make_engine
+from repro.core.sync import InProcessShardExecutor, SweepBroadcast
+from repro.engine import ENGINES, make_engine
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.validation import check_positive_int
 
@@ -235,44 +242,49 @@ class MGCPL(BaseClusterer):
 
         result = MGCPLResult(initial_k=k_initial)
 
-        k_old = -1
-        k_current = k_initial
-        min_k = self.min_surviving_clusters
-        for epoch in range(self.max_epochs):
-            # Every epoch re-launches the competition from k_current randomly
-            # selected seed objects (Algorithm 1, line 3 sits inside the outer
-            # loop): only the *number* of clusters is inherited from the
-            # previous granularity level, while the learning statistics are
-            # cleared (line 13).  A degenerate epoch in which all but one
-            # cluster drain empty is retried with fresh seeds; if it keeps
-            # collapsing, the previously learned levels stand and MGCPL stops.
-            epoch_result = None
-            for _attempt in range(3):
-                seeds = rng.choice(n, size=k_current, replace=False)
-                labels = np.full(n, -1, dtype=np.int64)
-                labels[seeds] = np.arange(k_current)
-                labels, k_new, n_sweeps, weights = self._run_epoch(
-                    codes, n_categories, labels, k_current, rng
-                )
-                if k_new >= min(min_k, k_current):
-                    epoch_result = (labels, k_new, n_sweeps, weights)
+        executor = self._make_executor(codes, n_categories) if self.update_mode == "batch" else None
+        try:
+            k_old = -1
+            k_current = k_initial
+            min_k = self.min_surviving_clusters
+            for epoch in range(self.max_epochs):
+                # Every epoch re-launches the competition from k_current randomly
+                # selected seed objects (Algorithm 1, line 3 sits inside the outer
+                # loop): only the *number* of clusters is inherited from the
+                # previous granularity level, while the learning statistics are
+                # cleared (line 13).  A degenerate epoch in which all but one
+                # cluster drain empty is retried with fresh seeds; if it keeps
+                # collapsing, the previously learned levels stand and MGCPL stops.
+                epoch_result = None
+                for _attempt in range(3):
+                    seeds = rng.choice(n, size=k_current, replace=False)
+                    labels = np.full(n, -1, dtype=np.int64)
+                    labels[seeds] = np.arange(k_current)
+                    labels, k_new, n_sweeps, weights = self._run_epoch(
+                        codes, n_categories, labels, k_current, rng, executor
+                    )
+                    if k_new >= min(min_k, k_current):
+                        epoch_result = (labels, k_new, n_sweeps, weights)
+                        break
+                if epoch_result is None:
                     break
-            if epoch_result is None:
-                break
-            labels, k_new, n_sweeps, weights = epoch_result
-            result.levels.append(
-                GranularityLevel(
-                    index=epoch,
-                    n_clusters=k_new,
-                    labels=labels.copy(),
-                    n_sweeps=n_sweeps,
-                    cluster_weights=weights,
+                labels, k_new, n_sweeps, weights = epoch_result
+                result.levels.append(
+                    GranularityLevel(
+                        index=epoch,
+                        n_clusters=k_new,
+                        labels=labels.copy(),
+                        n_sweeps=n_sweeps,
+                        cluster_weights=weights,
+                    )
                 )
-            )
-            if k_new == k_old or k_new <= min_k:
-                break
-            k_old = k_new
-            k_current = k_new
+                if k_new == k_old or k_new <= min_k:
+                    break
+                k_old = k_new
+                k_current = k_new
+        finally:
+            if executor is not None:
+                executor.close()
 
         if not result.levels:
             # Extreme fallback (e.g. every retry collapsed): a single level
@@ -301,6 +313,15 @@ class MGCPL(BaseClusterer):
     # ------------------------------------------------------------------ #
     # Epoch execution
     # ------------------------------------------------------------------ #
+    def _make_executor(self, codes: np.ndarray, n_categories: List[int]):
+        """Shard executor driving the batch epochs (one in-process shard).
+
+        Subclasses (``repro.distributed.runtime.ShardedMGCPL``) override this
+        to fan the shard-local sweeps out over worker processes; the epoch
+        loop itself is backend-agnostic.
+        """
+        return InProcessShardExecutor(codes, n_categories, engine=self.engine)
+
     def _run_epoch(
         self,
         codes: np.ndarray,
@@ -308,6 +329,7 @@ class MGCPL(BaseClusterer):
         labels_init: np.ndarray,
         k: int,
         rng: np.random.Generator,
+        executor=None,
     ) -> Tuple[np.ndarray, int, int, np.ndarray]:
         """Run one competitive-penalization epoch starting from ``labels_init``.
 
@@ -316,7 +338,16 @@ class MGCPL(BaseClusterer):
         clusters' final weights.
         """
         if self.update_mode == "batch":
-            labels, delta, n_sweeps = self._epoch_batch(codes, n_categories, labels_init, k)
+            if executor is None:
+                # Direct callers get a private executor, closed after the epoch.
+                with self._make_executor(codes, n_categories) as executor:
+                    labels, delta, n_sweeps = self._epoch_batch(
+                        codes, n_categories, labels_init, k, executor
+                    )
+            else:
+                labels, delta, n_sweeps = self._epoch_batch(
+                    codes, n_categories, labels_init, k, executor
+                )
         else:
             labels, delta, n_sweeps = self._epoch_online(codes, n_categories, labels_init, k, rng)
 
@@ -331,8 +362,18 @@ class MGCPL(BaseClusterer):
         n_categories: List[int],
         labels_init: np.ndarray,
         k: int,
+        executor,
     ) -> Tuple[np.ndarray, np.ndarray, int]:
-        """Vectorised epoch: one similarity matrix per sweep, aggregate updates.
+        """Vectorised epoch as a bulk-synchronous shard loop.
+
+        Each sweep is one LocalUpdate/GlobalStep round (see
+        :mod:`repro.core.sync`): the executor runs the winner/rival
+        competition shard-locally against the broadcast global counts, and
+        this loop — the GlobalStep — merges the shard statistics, advances
+        the learning state and decides convergence.  With the default
+        single-shard in-process executor this is the serial batch engine;
+        with the process-pool executor of the distributed runtime the exact
+        same loop runs sharded.
 
         Elimination.  Under the paper's dynamics a cluster starves when its
         accumulated rival penalties (Eq. 13) outpace its winner awards
@@ -350,7 +391,7 @@ class MGCPL(BaseClusterer):
         """
         n, d = codes.shape
         eta = self.learning_rate
-        table = make_engine(codes, n_categories, k, kind=self.engine, labels=labels_init)
+        state = executor.begin_epoch(k, labels_init)
 
         # Reset of the learning statistics at the start of every epoch
         # (Algorithm 1, line 13): g_l = 0 and delta_l = 1 (=> u_l ~ 0.99).
@@ -366,22 +407,19 @@ class MGCPL(BaseClusterer):
             n_sweeps = sweep + 1
             u = cluster_weight_from_delta(delta)
             rho = winning_ratio(wins_prev, alive)
-
-            sims = table.similarity_matrix(
-                feature_weights=omega if self.use_feature_weights else None,
-                exclude_labels=labels,
-            )
-            scores = (1.0 - rho)[None, :] * u[None, :] * sims
             # Dead and eliminated clusters cannot attract objects.
-            blocked = (table.sizes <= 0) | ~alive
-            if blocked.any():
-                scores[:, blocked] = -np.inf
+            blocked = (state.sizes <= 0) | ~alive
 
-            winners = scores.argmax(axis=1)
-            rival_scores = scores.copy()
-            rival_scores[np.arange(n), winners] = -np.inf
-            rivals = rival_scores.argmax(axis=1)
-            has_rival = np.isfinite(rival_scores[np.arange(n), rivals])
+            outcome = executor.sweep(
+                SweepBroadcast(
+                    state=state,
+                    u=u,
+                    rho=rho,
+                    omega=omega if self.use_feature_weights else None,
+                    blocked=blocked,
+                )
+            )
+            state = outcome.state
 
             # Winner award (Eq. 12) and rival penalization (Eq. 13), aggregated
             # over the sweep.  The award of a win is proportional to the
@@ -390,32 +428,27 @@ class MGCPL(BaseClusterer):
             # winning its own members can never starve and the multi-granular
             # elimination of Fig. 5 cannot emerge); every rival designation
             # contributes -eta * s(x_i, C_h) exactly as in Eq. 13.
-            win_counts = np.bincount(winners, minlength=k).astype(np.float64)
-            winner_sims = sims[np.arange(n), winners]
-            rival_sims = np.where(has_rival, sims[np.arange(n), rivals], 0.0)
-            margins = np.clip(winner_sims - rival_sims, 0.0, None)
-            win_gain = np.bincount(winners, weights=margins, minlength=k)
-            rival_pen = np.zeros(k, dtype=np.float64)
-            rival_counts = np.zeros(k, dtype=np.float64)
-            if has_rival.any():
-                np.add.at(rival_pen, rivals[has_rival], rival_sims[has_rival])
-                rival_counts = np.bincount(rivals[has_rival], minlength=k).astype(np.float64)
             # The aggregate sweep update is normalised by the number of events
             # each cluster participated in, so the per-sweep drift of delta_l
             # stays on the order of +/- eta (one online step) regardless of n,
             # and the cluster weights evolve gradually as in the online
             # algorithm instead of jumping to saturation after a single sweep.
-            events = np.maximum(win_counts + rival_counts, 1.0)
-            delta = np.clip(delta + eta * (win_gain - rival_pen) / events, 0.5, 20.0)
-            wins_prev = win_counts
+            events = np.maximum(outcome.win_counts + outcome.rival_counts, 1.0)
+            delta = np.clip(
+                delta + eta * (outcome.win_gain - outcome.rival_pen) / events, 0.5, 20.0
+            )
+            wins_prev = outcome.win_counts
 
-            if np.array_equal(winners, labels) or sweep == self.max_sweeps - 1:
-                win_sim_total = np.bincount(winners, weights=winner_sims, minlength=k)
+            if not outcome.changed or sweep == self.max_sweeps - 1:
                 starving = self._select_starving(
-                    alive, win_gain - rival_pen, win_counts, win_gain, win_sim_total
+                    alive,
+                    outcome.win_gain - outcome.rival_pen,
+                    outcome.win_counts,
+                    outcome.win_gain,
+                    outcome.win_sim_total,
                 )
                 if starved_this_epoch or not starving.any():
-                    labels = winners
+                    labels = outcome.labels
                     break
                 # One starvation event per epoch: the clusters whose penalties
                 # outpace their awards at the stable partition are eliminated,
@@ -424,25 +457,21 @@ class MGCPL(BaseClusterer):
                 starved_this_epoch = True
                 alive &= ~starving
                 delta[starving] = -20.0
-                table.move_many(np.arange(n), labels, winners)
-                labels = winners
+                labels = outcome.labels
                 if self.use_feature_weights:
-                    omega = table.feature_cluster_weights()
+                    omega = state.feature_cluster_weights()
                 continue
 
-            # Incremental bulk update: only the objects that changed cluster
-            # touch the packed counts (equivalent to a full rebuild).
-            table.move_many(np.arange(n), labels, winners)
-            labels = winners
+            labels = outcome.labels
             if self.use_feature_weights:
-                omega = table.feature_cluster_weights()
-        labels = self._reassign_dead_members(codes, table, labels, alive, omega)
+                omega = state.feature_cluster_weights()
+        labels = self._reassign_dead_members(codes, n_categories, labels, alive, omega)
         return labels, delta, n_sweeps
 
     def _reassign_dead_members(
         self,
         codes: np.ndarray,
-        table: FrequencyEngine,
+        n_categories: List[int],
         labels: np.ndarray,
         alive: np.ndarray,
         omega: np.ndarray,
@@ -450,13 +479,21 @@ class MGCPL(BaseClusterer):
         """Move objects still attached to eliminated clusters to their best surviving cluster.
 
         Needed when an epoch runs out of sweeps before the partition
-        re-stabilises after a starvation event.
+        re-stabilises after a starvation event; a coordinator-side engine is
+        built on demand (the common converged case has nothing stranded and
+        skips the work entirely).
         """
         labels = labels.copy()
         stranded = (labels < 0) | ~alive[np.clip(labels, 0, alive.size - 1)]
         if not stranded.any():
             return labels
-        table.rebuild(np.where(stranded, -1, labels))
+        table = make_engine(
+            codes,
+            n_categories,
+            alive.size,
+            kind=self.engine,
+            labels=np.where(stranded, -1, labels),
+        )
         sims = table.similarity_matrix(
             feature_weights=omega if self.use_feature_weights else None
         )
@@ -600,5 +637,5 @@ class MGCPL(BaseClusterer):
                 starved_this_epoch = True
                 alive &= ~starving
                 delta[starving] = -20.0
-        labels = self._reassign_dead_members(codes, table, labels, alive, omega)
+        labels = self._reassign_dead_members(codes, n_categories, labels, alive, omega)
         return labels, delta, n_sweeps

@@ -9,15 +9,32 @@ The paper motivates MCDC with two distributed-computing use cases:
    categorical features such as GPU type or memory usage, Fig. 1) into
    performance-consistent groups that can be selected per task.
 
-This package provides a lightweight simulated cluster substrate (nodes,
-workloads, a scheduler) plus the MCDC-guided partitioner and the metrics that
+This package provides the *real* sharded execution runtime
+(:mod:`repro.distributed.runtime`: a process-pool coordinator plus
+``ShardedMGCPL`` / ``ShardedCAME`` / ``ShardedMCDC`` wrappers), a lightweight
+simulated cluster substrate (nodes, workloads, a scheduler, pluggable
+execution backends) and the MCDC-guided partitioner with the metrics that
 quantify what the pre-partitioning preserves (locality, balance, consistency).
 """
 
 from repro.distributed.node import ComputeNode, NodePool, make_node_pool
 from repro.distributed.partitioner import MultiGranularPartitioner, PartitionPlan
+from repro.distributed.runtime import (
+    ShardedCAME,
+    ShardedCoordinator,
+    ShardedMCDC,
+    ShardedMCDCEncoder,
+    ShardedMGCPL,
+    default_n_shards,
+    resolve_shard_indices,
+)
 from repro.distributed.scheduler import GranularityAwareScheduler, RoundRobinScheduler, Task
-from repro.distributed.simulation import SimulationReport, simulate_distributed_execution
+from repro.distributed.simulation import (
+    ExecutionEngine,
+    MakespanModel,
+    SimulationReport,
+    simulate_distributed_execution,
+)
 from repro.distributed.metrics import intra_partition_similarity, load_balance, node_group_consistency
 
 __all__ = [
@@ -26,9 +43,18 @@ __all__ = [
     "make_node_pool",
     "MultiGranularPartitioner",
     "PartitionPlan",
+    "ShardedCoordinator",
+    "ShardedMGCPL",
+    "ShardedCAME",
+    "ShardedMCDC",
+    "ShardedMCDCEncoder",
+    "default_n_shards",
+    "resolve_shard_indices",
     "GranularityAwareScheduler",
     "RoundRobinScheduler",
     "Task",
+    "ExecutionEngine",
+    "MakespanModel",
     "simulate_distributed_execution",
     "SimulationReport",
     "intra_partition_similarity",

@@ -105,30 +105,38 @@ class MultiGranularPartitioner:
 
         Whole micro-clusters are kept together whenever possible; a
         micro-cluster is split only when it alone exceeds the balance
-        tolerance.
+        tolerance, or — when there are fewer micro-clusters than partitions —
+        to guarantee that every partition receives at least one object
+        (otherwise a target node would sit idle).
         """
         p = self.n_partitions
         ideal = n / p
         max_size = self.balance_tolerance * ideal
 
         cluster_ids, counts = np.unique(micro_labels, return_counts=True)
-        order = np.argsort(-counts)
+        units: List[np.ndarray] = []
+        for cluster, count in zip(cluster_ids, counts):
+            member_idx = np.flatnonzero(micro_labels == cluster)
+            if count > max_size and p > 1:
+                # Split an oversized micro-cluster into tolerance-sized chunks.
+                shuffled = member_idx[rng.permutation(member_idx.size)]
+                units.extend(np.array_split(shuffled, int(np.ceil(count / max_size))))
+            else:
+                units.append(member_idx)
+
+        # Fewer units than partitions (n_partitions > number of micro-
+        # clusters): halve the largest unit until every bin can be fed.
+        while len(units) < p and max(unit.size for unit in units) > 1:
+            units.sort(key=lambda unit: unit.size, reverse=True)
+            largest = units.pop(0)
+            half = largest.size // 2
+            units.extend([largest[:half], largest[half:]])
+
+        units.sort(key=lambda unit: unit.size, reverse=True)
         loads = np.zeros(p, dtype=np.float64)
         assignments = np.empty(n, dtype=np.int64)
-
-        for idx in order:
-            cluster = cluster_ids[idx]
-            member_idx = np.flatnonzero(micro_labels == cluster)
-            if counts[idx] > max_size and p > 1:
-                # Split an oversized micro-cluster across the least-loaded bins.
-                shuffled = member_idx[rng.permutation(member_idx.size)]
-                chunks = np.array_split(shuffled, int(np.ceil(counts[idx] / max_size)))
-                for chunk in chunks:
-                    target = int(np.argmin(loads))
-                    assignments[chunk] = target
-                    loads[target] += chunk.size
-            else:
-                target = int(np.argmin(loads))
-                assignments[member_idx] = target
-                loads[target] += member_idx.size
+        for unit in units:
+            target = int(np.argmin(loads))
+            assignments[unit] = target
+            loads[target] += unit.size
         return assignments

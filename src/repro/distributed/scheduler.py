@@ -48,15 +48,18 @@ class GranularityAwareScheduler:
     nodes according to computing task requirements".
     """
 
-    def __init__(self, n_groups: int = 4, random_state: RandomState = None) -> None:
+    def __init__(
+        self, n_groups: int = 4, engine: str = "auto", random_state: RandomState = None
+    ) -> None:
         self.n_groups = check_positive_int(n_groups, "n_groups")
+        self.engine = engine
         self.random_state = random_state
 
     def group_nodes(self, pool: NodePool) -> np.ndarray:
         """Cluster the node pool; returns one group label per node."""
         dataset = pool.to_dataset()
         n_groups = min(self.n_groups, len(pool))
-        mcdc = MCDC(n_clusters=n_groups, random_state=self.random_state)
+        mcdc = MCDC(n_clusters=n_groups, engine=self.engine, random_state=self.random_state)
         self.node_groups_ = mcdc.fit_predict(dataset)
         self.mcdc_ = mcdc
         return self.node_groups_
@@ -86,9 +89,12 @@ class GranularityAwareScheduler:
                 members = np.arange(len(pool))
             if members.size == 0:
                 members = np.arange(len(pool))
-            # Least-loaded node (normalised by its throughput) within the group.
+            # Least-loaded node (normalised by its throughput) within the
+            # group; ties on equal accumulated demand are broken by the
+            # smallest node_id, so the placement never depends on the
+            # iteration order of the pool.
             normalised = loads[members] / np.maximum(throughputs[members], 1e-9)
-            chosen = members[int(np.argmin(normalised))]
+            chosen = members[np.lexsort((node_ids[members], normalised))[0]]
             loads[chosen] += task.demand
             assignment[int(node_ids[chosen])].append(task)
         return assignment

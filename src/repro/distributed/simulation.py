@@ -1,14 +1,20 @@
-"""A small discrete simulator of distributed execution over a node pool.
+"""Execution backends for scheduled task assignments over a node pool.
 
-Used by the examples and tests to show, end to end, that MCDC-guided node
-grouping and data pre-partitioning lead to better makespan and locality than
-heterogeneity-blind baselines — the argument of paper Sec. III-D.
+The default backend is the small closed-form makespan model the examples and
+tests use to show, end to end, that MCDC-guided node grouping and data
+pre-partitioning lead to better makespan and locality than
+heterogeneity-blind baselines — the argument of paper Sec. III-D.  The
+backend is pluggable (``engine=``): the analytic :class:`MakespanModel` is
+one implementation of :class:`ExecutionEngine`, and the *real* process-pool
+executor lives in :mod:`repro.distributed.runtime` — the simulator models
+what the runtime actually does.
 """
 
 from __future__ import annotations
 
+from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -52,25 +58,49 @@ def make_tasks(
     return tasks
 
 
+class ExecutionEngine(ABC):
+    """Backend that turns a task->node assignment into a finish-time report."""
+
+    @abstractmethod
+    def execute(self, assignment: Dict[int, List[Task]], pool: NodePool) -> SimulationReport:
+        """Run (or model) the assignment and report per-node finish times."""
+
+
+class MakespanModel(ExecutionEngine):
+    """Closed-form backend: finish time = accumulated demand / throughput.
+
+    Nodes are processed in sorted ``node_id`` order so the report (and every
+    consumer iterating it) is independent of the insertion order of the
+    assignment dict.
+    """
+
+    def execute(self, assignment: Dict[int, List[Task]], pool: NodePool) -> SimulationReport:
+        throughput = {node.node_id: max(node.throughput(), 1e-9) for node in pool.nodes}
+        finish_times: Dict[int, float] = {}
+        total_work = 0.0
+        for node_id in sorted(assignment):
+            tasks = assignment[node_id]
+            work = float(sum(task.demand for task in tasks))
+            total_work += work
+            finish_times[node_id] = work / throughput[node_id]
+        makespan = max(finish_times.values()) if finish_times else 0.0
+        if makespan > 0:
+            idle = np.mean([1.0 - (t / makespan) for t in finish_times.values()])
+        else:
+            idle = 0.0
+        return SimulationReport(
+            makespan=float(makespan),
+            total_work=float(total_work),
+            node_finish_times=finish_times,
+            idle_fraction=float(idle),
+        )
+
+
 def simulate_distributed_execution(
-    assignment: Dict[int, List[Task]], pool: NodePool
+    assignment: Dict[int, List[Task]],
+    pool: NodePool,
+    engine: Optional[ExecutionEngine] = None,
 ) -> SimulationReport:
-    """Compute the makespan of an assignment given per-node throughput."""
-    throughput = {node.node_id: max(node.throughput(), 1e-9) for node in pool.nodes}
-    finish_times: Dict[int, float] = {}
-    total_work = 0.0
-    for node_id, tasks in assignment.items():
-        work = float(sum(task.demand for task in tasks))
-        total_work += work
-        finish_times[node_id] = work / throughput[node_id]
-    makespan = max(finish_times.values()) if finish_times else 0.0
-    if makespan > 0:
-        idle = np.mean([1.0 - (t / makespan) for t in finish_times.values()])
-    else:
-        idle = 0.0
-    return SimulationReport(
-        makespan=float(makespan),
-        total_work=float(total_work),
-        node_finish_times=finish_times,
-        idle_fraction=float(idle),
-    )
+    """Evaluate an assignment on an execution backend (default: makespan model)."""
+    engine = engine if engine is not None else MakespanModel()
+    return engine.execute(assignment, pool)

@@ -25,6 +25,7 @@ import numpy as np
 from repro.engine.base import FrequencyEngine
 from repro.engine.packed import ChunkedEngine, DenseEngine, PackedFrequencyEngine
 from repro.engine.reference import LoopEngine
+from repro.engine.state import EngineState
 
 ENGINES = {
     "dense": DenseEngine,
@@ -84,6 +85,7 @@ def make_engine(
 
 
 __all__ = [
+    "EngineState",
     "FrequencyEngine",
     "PackedFrequencyEngine",
     "DenseEngine",

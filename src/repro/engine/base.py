@@ -29,9 +29,12 @@ pre-partitioner.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from repro.engine.state import EngineState
 
 
 class FrequencyEngine(ABC):
@@ -132,6 +135,27 @@ class FrequencyEngine(ABC):
             self.remove_many(indices[assigned], sources[assigned])
         if indices.size:
             self.add_many(indices, targets)
+
+    # ------------------------------------------------------------------ #
+    # Sufficient-statistics snapshots (sharded execution)
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def snapshot(self) -> "EngineState":
+        """Copy the current counts into a serializable :class:`EngineState`.
+
+        Snapshots use the packed ``(k, M)`` layout regardless of the backend,
+        so states taken from different backends over the same vocabulary are
+        interchangeable and mergeable (see :mod:`repro.engine.state`).
+        """
+
+    @abstractmethod
+    def restore(self, state: "EngineState") -> None:
+        """Overwrite the engine's counts with ``state``.
+
+        The engine's data matrix is untouched: restoring a *global* merged
+        state into a shard-local engine is exactly how a sharded worker
+        evaluates its objects against the global cluster statistics.
+        """
 
     # ------------------------------------------------------------------ #
     # Similarities (Eqs. 1-2 and 14)

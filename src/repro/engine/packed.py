@@ -33,6 +33,14 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.engine.base import FrequencyEngine
+from repro.engine.state import (
+    EngineState,
+    counts_feature_cluster_weights,
+    counts_inter_cluster_difference,
+    counts_intra_cluster_similarity,
+    counts_modes,
+    expand_per_feature,
+)
 from repro.utils.validation import check_array_2d, check_positive_int
 
 
@@ -84,7 +92,7 @@ class PackedFrequencyEngine(FrequencyEngine):
 
     def _expand(self, per_feature: np.ndarray) -> np.ndarray:
         """Broadcast a per-feature row/matrix across each feature's columns."""
-        return np.repeat(per_feature, self.n_categories, axis=-1)
+        return expand_per_feature(per_feature, self.n_categories)
 
     def _segment_sums(self, matrix: np.ndarray) -> np.ndarray:
         """Per-feature segment sums of a ``(k, M)`` matrix: shape ``(k, d)``."""
@@ -151,6 +159,31 @@ class PackedFrequencyEngine(FrequencyEngine):
         self.packed += sign * np.bincount(lin[mask], minlength=k * M).reshape(k, M)
         lin_valid = clusters[:, None] * d + np.arange(d)[None, :]
         self.valid_counts += sign * np.bincount(lin_valid[mask], minlength=k * d).reshape(k, d)
+
+    # ------------------------------------------------------------------ #
+    # Sufficient-statistics snapshots (sharded execution)
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> EngineState:
+        return EngineState(
+            self.packed.copy(),
+            self.valid_counts.copy(),
+            self.sizes.copy(),
+            tuple(self.n_categories),
+        )
+
+    def restore(self, state: EngineState) -> None:
+        if tuple(state.n_categories) != tuple(self.n_categories):
+            raise ValueError(
+                "EngineState vocabulary does not match this engine: "
+                f"{state.n_categories} vs {tuple(self.n_categories)}"
+            )
+        if state.n_clusters != self.n_clusters:
+            raise ValueError(
+                f"EngineState has {state.n_clusters} clusters, engine has {self.n_clusters}"
+            )
+        self.packed[:] = state.packed
+        self.valid_counts[:] = state.valid_counts
+        self.sizes[:] = state.sizes
 
     # ------------------------------------------------------------------ #
     # Similarities (Eqs. 1-2 and 14)
@@ -307,50 +340,23 @@ class PackedFrequencyEngine(FrequencyEngine):
     # Feature-cluster weighting (Eqs. 15-18)
     # ------------------------------------------------------------------ #
     def inter_cluster_difference(self) -> np.ndarray:
-        total = self.packed.sum(axis=0)                     # (M,)
-        valid = self.valid_counts                           # (k, d)
-        valid_total = valid.sum(axis=0)                     # (d,)
-        rest_valid = valid_total[None, :] - valid           # (k, d)
-        with np.errstate(divide="ignore", invalid="ignore"):
-            p_in = np.where(self._expand(valid) > 0, self.packed / self._expand(valid), 0.0)
-            rest = self._expand(rest_valid)
-            p_out = np.where(rest > 0, (total[None, :] - self.packed) / rest, 0.0)
-        sq = self._segment_sums((p_in - p_out) ** 2)        # (k, d)
-        alpha = np.where(valid > 0, np.sqrt(sq) / np.sqrt(2.0), 0.0)
-        return np.ascontiguousarray(alpha.T)
+        return counts_inter_cluster_difference(self.packed, self.valid_counts, self.n_categories)
 
     def intra_cluster_similarity(self) -> np.ndarray:
-        sum_sq = self._segment_sums(self.packed**2)         # (k, d)
-        valid = self.valid_counts
-        sizes = self.sizes[:, None]
-        with np.errstate(divide="ignore", invalid="ignore"):
-            beta = np.where(
-                (valid > 0) & (sizes > 0),
-                sum_sq / (valid * np.maximum(sizes, 1.0)),
-                0.0,
-            )
-        return np.ascontiguousarray(beta.T)
+        return counts_intra_cluster_similarity(
+            self.packed, self.valid_counts, self.sizes, self.n_categories
+        )
 
     def feature_cluster_weights(self) -> np.ndarray:
-        H = self.inter_cluster_difference() * self.intra_cluster_similarity()  # (d, k)
-        d = H.shape[0]
-        col_sums = H.sum(axis=0)                            # (k,)
-        with np.errstate(divide="ignore", invalid="ignore"):
-            omega = np.where(col_sums[None, :] > 0, H / col_sums[None, :], 1.0 / d)
-        return omega
+        return counts_feature_cluster_weights(
+            self.packed, self.valid_counts, self.sizes, self.n_categories
+        )
 
     # ------------------------------------------------------------------ #
     # Misc
     # ------------------------------------------------------------------ #
     def modes(self) -> np.ndarray:
-        d = self.codes.shape[1]
-        out = np.full((self.n_clusters, d), -1, dtype=np.int64)
-        for r in range(d):
-            start = self.offsets[r]
-            segment = self.packed[:, start : start + self.n_categories[r]]
-            has_any = self.valid_counts[:, r] > 0
-            out[has_any, r] = np.argmax(segment[has_any], axis=1)
-        return out
+        return counts_modes(self.packed, self.valid_counts, self.n_categories)
 
     def hamming_distances(
         self, references, feature_weights: Optional[np.ndarray] = None

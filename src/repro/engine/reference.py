@@ -16,6 +16,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.engine.base import FrequencyEngine
+from repro.engine.state import EngineState
 from repro.utils.validation import check_array_2d, check_positive_int
 
 
@@ -95,6 +96,37 @@ class LoopEngine(FrequencyEngine):
     def remove_many(self, indices, clusters) -> None:
         for i, cluster in zip(np.asarray(indices), np.asarray(clusters)):
             self.remove(int(i), int(cluster))
+
+    # ------------------------------------------------------------------ #
+    # Sufficient-statistics snapshots (sharded execution)
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> EngineState:
+        """Pack the per-feature count tables into the shared snapshot layout.
+
+        Snapshots are layout-normalised so a state taken from a LoopEngine
+        shard merges bit-identically with states from the packed backends.
+        """
+        packed = np.concatenate(self.counts, axis=1)
+        return EngineState(
+            packed, self.valid.T.copy(), self.sizes.copy(), tuple(self.n_categories)
+        )
+
+    def restore(self, state: EngineState) -> None:
+        if tuple(state.n_categories) != tuple(self.n_categories):
+            raise ValueError(
+                "EngineState vocabulary does not match this engine: "
+                f"{state.n_categories} vs {tuple(self.n_categories)}"
+            )
+        if state.n_clusters != self.n_clusters:
+            raise ValueError(
+                f"EngineState has {state.n_clusters} clusters, engine has {self.n_clusters}"
+            )
+        start = 0
+        for r, m in enumerate(self.n_categories):
+            self.counts[r][:] = state.packed[:, start : start + m]
+            start += m
+        self.valid[:] = state.valid_counts.T
+        self.sizes[:] = state.sizes
 
     # ------------------------------------------------------------------ #
     # Similarities (Eqs. 1-2 and 14)

@@ -24,6 +24,10 @@ class ExperimentConfig:
 
     n_restarts: int = 3
     random_state: int = 2024
+    # Process-parallelism of repeated trials (1 = serial).  Seeds are drawn
+    # up front, so results are identical for any value; see
+    # ``repro.experiments.runner.map_trials``.
+    n_jobs: int = 1
     datasets: Tuple[str, ...] = ("Car", "Con", "Che", "Mus", "Tic", "Vot", "Bal", "Nur")
     learning_rate: float = 0.03
     wilcoxon_alpha: float = 0.1

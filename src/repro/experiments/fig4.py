@@ -6,11 +6,14 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from functools import partial
+
 from repro.core import MCDC
 from repro.core.ablations import MCDC1, MCDC2, MCDC3, MCDC4
 from repro.data.uci.registry import get_spec
 from repro.experiments.config import ExperimentConfig, active_config
 from repro.experiments.reporting import format_table
+from repro.experiments.runner import map_trials
 from repro.metrics import adjusted_rand_index
 from repro.utils.rng import ensure_rng
 
@@ -31,18 +34,31 @@ def _make_version(name: str, n_clusters: int, seed: int):
     raise ValueError(f"Unknown ablation version {name!r}")
 
 
+def _ablation_trial(seed: int, version: str, dataset, n_clusters: int) -> float:
+    """One restart of one ablated version; failures score zero (paper convention)."""
+    try:
+        labels = _make_version(version, n_clusters, seed).fit_predict(dataset)
+        return adjusted_rand_index(dataset.labels, labels)
+    except Exception:
+        return 0.0
+
+
 def run_fig4(
     datasets: Optional[List[str]] = None,
     config: Optional[ExperimentConfig] = None,
+    n_jobs: Optional[int] = None,
 ) -> Dict[str, Dict[str, Dict[str, float]]]:
     """Regenerate the Fig. 4 ablation bars.
 
     Returns ``results[dataset][version] = {"mean": ARI, "std": ...}``.  The
     expected shape (paper Sec. IV-D): ARI decreases, in general, from MCDC
-    through MCDC4, MCDC3, MCDC2 down to MCDC1.
+    through MCDC4, MCDC3, MCDC2 down to MCDC1.  ``n_jobs`` (default
+    ``config.n_jobs``) parallelizes the restarts of each version across
+    processes; seeds are drawn up front so the scores do not change.
     """
     config = config or active_config()
     datasets = datasets or list(config.datasets)
+    n_jobs = config.n_jobs if n_jobs is None else n_jobs
     rng = ensure_rng(config.random_state)
 
     results: Dict[str, Dict[str, Dict[str, float]]] = {}
@@ -52,14 +68,12 @@ def run_fig4(
         k = dataset.n_clusters_true or 2
         results[spec.abbrev] = {}
         for version in ABLATION_ORDER:
-            scores = []
-            for _ in range(config.n_restarts):
-                seed = int(rng.integers(0, 2**31 - 1))
-                try:
-                    labels = _make_version(version, k, seed).fit_predict(dataset)
-                    scores.append(adjusted_rand_index(dataset.labels, labels))
-                except Exception:
-                    scores.append(0.0)
+            seeds = [int(rng.integers(0, 2**31 - 1)) for _ in range(config.n_restarts)]
+            scores = map_trials(
+                partial(_ablation_trial, version=version, dataset=dataset, n_clusters=k),
+                seeds,
+                n_jobs=n_jobs,
+            )
             results[spec.abbrev][version] = {
                 "mean": float(np.mean(scores)),
                 "std": float(np.std(scores)),
@@ -67,8 +81,8 @@ def run_fig4(
     return results
 
 
-def main() -> None:
-    results = run_fig4()
+def main(config: Optional[ExperimentConfig] = None) -> None:
+    results = run_fig4(config=config)
     headers = ["Data"] + list(ABLATION_ORDER)
     rows = []
     for dataset_name, by_version in results.items():

@@ -2,46 +2,55 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from functools import partial
+from typing import Dict, List, Optional, Tuple
 
 from repro.core import MGCPL
 from repro.data.uci.registry import get_spec
 from repro.experiments.config import ExperimentConfig, active_config
 from repro.experiments.reporting import format_table
+from repro.experiments.runner import map_trials
+
+
+def _fig5_one(dataset_name: str, config: ExperimentConfig) -> Tuple[str, Dict[str, object]]:
+    """One dataset's MGCPL trajectory (the unit of parallelism)."""
+    spec = get_spec(dataset_name)
+    dataset = spec.loader()
+    mgcpl = MGCPL(learning_rate=config.learning_rate, random_state=config.random_state)
+    mgcpl.fit(dataset)
+    k_star = dataset.n_clusters_true
+    return spec.abbrev, {
+        "k0": mgcpl.result_.initial_k,
+        "kappa": list(mgcpl.kappa_),
+        "k_star": k_star,
+        "final_k": mgcpl.result_.final_k,
+        "final_matches_k_star": abs(mgcpl.result_.final_k - (k_star or 0)) <= 1,
+    }
 
 
 def run_fig5(
     datasets: Optional[List[str]] = None,
     config: Optional[ExperimentConfig] = None,
+    n_jobs: Optional[int] = None,
 ) -> Dict[str, Dict[str, object]]:
     """Regenerate the Fig. 5 trajectories.
 
     Returns ``results[dataset] = {"k0": ..., "kappa": [...], "k_star": ...,
     "final_matches_k_star": bool}``.  The expected shape: kappa decreases in
     stages and the final value lands at (or close to) the true ``k*``.
+    ``n_jobs`` (default ``config.n_jobs``) parallelizes across data sets
+    (each trajectory is one seeded fit, so results are unchanged).
     """
     config = config or active_config()
     datasets = datasets or list(config.datasets)
+    n_jobs = config.n_jobs if n_jobs is None else n_jobs
 
-    results: Dict[str, Dict[str, object]] = {}
-    for dataset_name in datasets:
-        spec = get_spec(dataset_name)
-        dataset = spec.loader()
-        mgcpl = MGCPL(learning_rate=config.learning_rate, random_state=config.random_state)
-        mgcpl.fit(dataset)
-        k_star = dataset.n_clusters_true
-        results[spec.abbrev] = {
-            "k0": mgcpl.result_.initial_k,
-            "kappa": list(mgcpl.kappa_),
-            "k_star": k_star,
-            "final_k": mgcpl.result_.final_k,
-            "final_matches_k_star": abs(mgcpl.result_.final_k - (k_star or 0)) <= 1,
-        }
-    return results
+    pairs = map_trials(partial(_fig5_one, config=config), list(datasets), n_jobs=n_jobs)
+    return dict(pairs)
 
 
-def main() -> None:
-    results = run_fig5()
+def main(config: Optional[ExperimentConfig] = None) -> None:
+    results = run_fig5(config=config)
     headers = ["Data", "k0", "kappa (per convergence)", "k*", "final k"]
     rows = [
         [name, info["k0"], " -> ".join(map(str, info["kappa"])), info["k_star"], info["final_k"]]

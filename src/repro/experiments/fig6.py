@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import time
+from functools import partial
 from typing import Dict, List, Optional
 
 from repro.core import MCDC
@@ -10,6 +11,7 @@ from repro.baselines import KModes
 from repro.data.generators import make_categorical_clusters
 from repro.experiments.config import ExperimentConfig, active_config
 from repro.experiments.reporting import format_table
+from repro.experiments.runner import map_trials
 
 #: Methods timed in the scalability sweeps.  The paper plots several
 #: counterparts; k-modes is the representative linear baseline and MCDC is the
@@ -31,47 +33,60 @@ def _time_method(name: str, dataset, n_clusters: int, seed: int) -> float:
     return time.perf_counter() - start
 
 
-def run_fig6(config: Optional[ExperimentConfig] = None) -> Dict[str, List[Dict[str, float]]]:
+def _fig6_point(point, seed: int, base_n: int) -> Dict[str, float]:
+    """Time every method at one ``(series, x)`` sweep point (the unit of parallelism)."""
+    kind, x = point
+    if kind == "vs_n":
+        dataset = make_categorical_clusters(
+            n_objects=int(x), n_features=10, n_clusters=3, purity=0.92, random_state=seed
+        )
+        n_clusters = 3
+    elif kind == "vs_k":
+        dataset = make_categorical_clusters(
+            n_objects=base_n, n_features=10, n_clusters=3, purity=0.92, random_state=seed
+        )
+        n_clusters = int(x)
+    else:
+        dataset = make_categorical_clusters(
+            n_objects=base_n, n_features=int(x), n_clusters=3, purity=0.92, random_state=seed
+        )
+        n_clusters = 3
+    row: Dict[str, float] = {"x": float(x)}
+    for method in TIMED_METHODS:
+        row[method] = _time_method(method, dataset, n_clusters, seed)
+    return row
+
+
+def run_fig6(
+    config: Optional[ExperimentConfig] = None, n_jobs: Optional[int] = None
+) -> Dict[str, List[Dict[str, float]]]:
     """Regenerate the Fig. 6 execution-time series.
 
     Returns three series — ``"vs_n"``, ``"vs_k"`` and ``"vs_d"`` — each a list
     of rows ``{"x": value, "<method>": seconds}``.  The expected shape: MCDC's
     time grows (close to) linearly with n, k and d.
+
+    ``n_jobs`` (default ``config.n_jobs``) parallelizes across the sweep
+    points.  Because the points then share cores, the absolute wall-clock
+    numbers become upper bounds; keep ``n_jobs=1`` when the timing values
+    themselves (not just the trend) matter.
     """
     config = config or active_config()
+    n_jobs = config.n_jobs if n_jobs is None else n_jobs
     seed = config.random_state
-    results: Dict[str, List[Dict[str, float]]] = {"vs_n": [], "vs_k": [], "vs_d": []}
-
-    # (a) time vs n on Syn_n-style data (d=10, k*=3).
-    for n in config.fig6_n_values:
-        dataset = make_categorical_clusters(
-            n_objects=n, n_features=10, n_clusters=3, purity=0.92, random_state=seed
-        )
-        row: Dict[str, float] = {"x": float(n)}
-        for method in TIMED_METHODS:
-            row[method] = _time_method(method, dataset, 3, seed)
-        results["vs_n"].append(row)
-
-    # (b) time vs sought k on a fixed Syn_n-style data set.
-    base = make_categorical_clusters(
-        n_objects=config.fig6_base_n, n_features=10, n_clusters=3, purity=0.92, random_state=seed
+    points = (
+        [("vs_n", int(n)) for n in config.fig6_n_values]
+        + [("vs_k", int(k)) for k in config.fig6_k_values]
+        + [("vs_d", int(d)) for d in config.fig6_d_values]
     )
-    for k in config.fig6_k_values:
-        row = {"x": float(k)}
-        for method in TIMED_METHODS:
-            row[method] = _time_method(method, base, int(k), seed)
-        results["vs_k"].append(row)
 
-    # (c) time vs d on Syn_d-style data (n fixed, k*=3).
-    for d in config.fig6_d_values:
-        dataset = make_categorical_clusters(
-            n_objects=config.fig6_base_n, n_features=int(d), n_clusters=3,
-            purity=0.92, random_state=seed,
-        )
-        row = {"x": float(d)}
-        for method in TIMED_METHODS:
-            row[method] = _time_method(method, dataset, 3, seed)
-        results["vs_d"].append(row)
+    rows = map_trials(
+        partial(_fig6_point, seed=seed, base_n=config.fig6_base_n), points, n_jobs=n_jobs
+    )
+
+    results: Dict[str, List[Dict[str, float]]] = {"vs_n": [], "vs_k": [], "vs_d": []}
+    for (kind, _), row in zip(points, rows):
+        results[kind].append(row)
     return results
 
 
@@ -90,8 +105,8 @@ def linear_fit_r2(xs: List[float], ys: List[float]) -> float:
     return 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
 
 
-def main() -> None:
-    results = run_fig6()
+def main(config: Optional[ExperimentConfig] = None) -> None:
+    results = run_fig6(config=config)
     for series_name, rows in results.items():
         print(f"\nFig. 6 ({series_name}): execution time in seconds")
         headers = ["x"] + list(TIMED_METHODS)

@@ -22,6 +22,7 @@ def run_table3(
     datasets: Optional[List[str]] = None,
     methods: Optional[List[str]] = None,
     config: Optional[ExperimentConfig] = None,
+    n_jobs: Optional[int] = None,
 ) -> Dict[str, Dict[str, Dict[str, Dict[str, float]]]]:
     """Regenerate Table III.
 
@@ -29,11 +30,14 @@ def run_table3(
     The slow quadratic methods (ROCK) and the metric-learning methods
     (GUDMM/ADC) are skipped on data sets larger than
     ``config.max_objects_slow_methods`` in the fast preset and recorded as
-    zeros, mirroring the paper's treatment of failed runs.
+    zeros, mirroring the paper's treatment of failed runs.  ``n_jobs``
+    (default ``config.n_jobs``) parallelizes the repeated restarts of each
+    method across processes without changing any score.
     """
     config = config or active_config()
     datasets = datasets or list(config.datasets)
     methods = methods or list(METHOD_NAMES)
+    n_jobs = config.n_jobs if n_jobs is None else n_jobs
 
     results: Dict[str, Dict[str, Dict[str, Dict[str, float]]]] = {}
     for dataset_name in datasets:
@@ -47,7 +51,8 @@ def run_table3(
                 }
                 continue
             results[spec.abbrev][method] = run_method_on_dataset(
-                method, dataset, config.n_restarts, config.random_state, config
+                method, dataset, config.n_restarts, config.random_state, config,
+                n_jobs=n_jobs,
             )
     return results
 
@@ -58,18 +63,21 @@ def _skip(method: str, n_objects: int, n_features: int, config: ExperimentConfig
     return heavy and n_objects > config.max_objects_slow_methods
 
 
-def main() -> None:
-    config = active_config()
-    results = run_table3(config=config)
+def main(
+    config: Optional[ExperimentConfig] = None, methods: Optional[List[str]] = None
+) -> None:
+    config = config or active_config()
+    methods = list(methods) if methods else list(METHOD_NAMES)
+    results = run_table3(methods=methods, config=config)
     for index in INDEX_NAMES:
         print(f"\nTable III ({index}) — mean±std over {config.n_restarts} runs")
-        headers = ["Data"] + list(METHOD_NAMES)
+        headers = ["Data"] + methods
         rows = []
         for dataset_name, by_method in results.items():
-            means = {m: by_method[m][index]["mean"] for m in METHOD_NAMES}
+            means = {m: by_method[m][index]["mean"] for m in methods}
             marks = highlight_best(means)
             row = [dataset_name]
-            for m in METHOD_NAMES:
+            for m in methods:
                 cell = format_mean_std(by_method[m][index]["mean"], by_method[m][index]["std"])
                 row.append(cell + marks[m])
             rows.append(row)

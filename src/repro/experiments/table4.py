@@ -53,8 +53,8 @@ def run_table4(
     return results
 
 
-def main() -> None:
-    results = run_table4()
+def main(config: Optional[ExperimentConfig] = None) -> None:
+    results = run_table4(config=config)
     headers = ["Method"] + list(INDEX_NAMES)
     rows = []
     for counterpart, by_index in results.items():

@@ -1,0 +1,84 @@
+"""Tests for the CLI entry point and the n_jobs trial parallelism."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.generators import make_categorical_clusters
+from repro.experiments.runner import draw_trial_seeds, map_trials, run_method_on_dataset
+
+
+@pytest.fixture(scope="module")
+def runner_dataset():
+    return make_categorical_clusters(
+        n_objects=150, n_features=5, n_clusters=3, purity=0.9, random_state=2,
+        name="runner-test",
+    )
+
+
+class TestParallelRunner:
+    def test_seed_sequence_is_deterministic(self):
+        assert draw_trial_seeds(2024, 4) == draw_trial_seeds(2024, 4)
+
+    def test_n_jobs_does_not_change_results(self, runner_dataset):
+        serial = run_method_on_dataset("K-MODES", runner_dataset, 3, 2024, n_jobs=1)
+        parallel = run_method_on_dataset("K-MODES", runner_dataset, 3, 2024, n_jobs=2)
+        assert serial == parallel
+
+    def test_map_trials_preserves_seed_order(self):
+        def trial(seed):
+            return seed * 2
+
+        seeds = [5, 1, 9, 3]
+        assert map_trials(trial, seeds, n_jobs=1) == [10, 2, 18, 6]
+
+    def test_single_restart_stays_serial(self, runner_dataset):
+        # n_jobs > 1 with one restart must not spin up a pool needlessly.
+        result = run_method_on_dataset("K-MODES", runner_dataset, 1, 7, n_jobs=4)
+        assert set(result) == {"ACC", "ARI", "AMI", "FM"}
+
+    def test_fig4_trials_parallel_equals_serial(self):
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.fig4 import run_fig4
+
+        config = ExperimentConfig(n_restarts=2, random_state=3, datasets=("Vot",))
+        serial = run_fig4(config=config, n_jobs=1)
+        parallel = run_fig4(config=config, n_jobs=2)
+        assert serial == parallel
+
+
+class TestCLI:
+    def test_parser_rejects_unknown_artefact(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table9"])
+
+    def test_parser_accepts_options(self):
+        args = build_parser().parse_args(
+            ["run", "table3", "--n-jobs", "4", "--datasets", "Vot", "Bal", "--preset", "fast"]
+        )
+        assert args.artefact == "table3"
+        assert args.n_jobs == 4
+        assert args.datasets == ["Vot", "Bal"]
+
+    def test_run_table2(self, capsys):
+        assert main(["run", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+
+    def test_run_fig5_subset(self, capsys):
+        assert main(["run", "fig5", "--datasets", "Vot"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 5" in out and "Vot" in out
+
+    def test_run_table3_subset(self, capsys):
+        code = main(
+            ["run", "table3", "--datasets", "Vot", "--methods", "K-MODES",
+             "--n-restarts", "1", "--n-jobs", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out and "K-MODES" in out
+
+    def test_invalid_n_jobs_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "table2", "--n-jobs", "0"])

@@ -5,6 +5,7 @@ import pytest
 
 from repro.distributed import (
     GranularityAwareScheduler,
+    MakespanModel,
     MultiGranularPartitioner,
     RoundRobinScheduler,
     intra_partition_similarity,
@@ -13,7 +14,7 @@ from repro.distributed import (
     node_group_consistency,
     simulate_distributed_execution,
 )
-from repro.distributed.simulation import make_tasks
+from repro.distributed.simulation import ExecutionEngine, SimulationReport, make_tasks
 
 
 class TestNodePool:
@@ -69,6 +70,54 @@ class TestPartitioner:
         with pytest.raises(ValueError):
             MultiGranularPartitioner(2, balance_tolerance=0.5)
 
+    def test_more_partitions_than_micro_clusters(self, small_clusters):
+        # MGCPL finds ~3 micro-clusters here; requesting 8 partitions must
+        # still cover every object and keep every partition non-empty (the
+        # balance tolerance forces the over-sized micro-clusters to split).
+        plan = MultiGranularPartitioner(
+            8, balance_tolerance=1.2, random_state=0
+        ).fit_partition(small_clusters)
+        assert plan.assignments.shape[0] == small_clusters.n_objects
+        sizes = plan.sizes()
+        assert sizes.sum() == small_clusters.n_objects
+        assert (sizes > 0).all()
+        assert sizes.max() <= np.ceil(1.2 * small_clusters.n_objects / 8) + 1
+
+    def test_tight_tolerance_forces_micro_cluster_splits(self, small_clusters):
+        def spans(partitioner):
+            plan = partitioner.fit_partition(small_clusters)
+            micro = partitioner.mgcpl_result_.level_for_k(plan.n_partitions).labels
+            return [
+                np.unique(plan.assignments[micro == c]).size for c in np.unique(micro)
+            ], plan
+
+        # Loose tolerance and as many partitions as micro-clusters: every
+        # micro-cluster stays whole on one partition.
+        loose_spans, _ = spans(
+            MultiGranularPartitioner(2, balance_tolerance=10.0, random_state=0)
+        )
+        assert max(loose_spans) == 1
+        # Tight tolerance with more partitions than micro-clusters: the
+        # micro-clusters exceeding n/p must be split across partitions, and
+        # the plan stays reasonably balanced.
+        tight_spans, tight_plan = spans(
+            MultiGranularPartitioner(3, balance_tolerance=1.0, random_state=0)
+        )
+        assert max(tight_spans) >= 2
+        assert load_balance(tight_plan.assignments, 3) > 0.5
+
+    def test_plan_round_trip_disjoint_and_complete(self, small_clusters):
+        plan = MultiGranularPartitioner(3, random_state=1).fit_partition(small_clusters)
+        parts = [plan.partition_indices(p) for p in range(3)]
+        union = np.concatenate(parts)
+        # Disjoint: no object appears twice; complete: the union is 0..n-1.
+        assert union.size == small_clusters.n_objects
+        np.testing.assert_array_equal(np.sort(union), np.arange(small_clusters.n_objects))
+
+    def test_single_partition_degenerates_gracefully(self, tiny_clusters):
+        plan = MultiGranularPartitioner(1, random_state=0).fit_partition(tiny_clusters)
+        assert (plan.assignments == 0).all()
+
 
 class TestSchedulers:
     def test_round_robin_assigns_all_tasks(self):
@@ -100,6 +149,39 @@ class TestSchedulers:
         assignment = GranularityAwareScheduler(n_groups=3, random_state=0).assign(tasks, pool)
         assert sum(len(v) for v in assignment.values()) == 60
 
+    def test_engine_backend_forwarded_to_grouping(self):
+        pool = make_node_pool(12, random_state=0)
+        scheduler = GranularityAwareScheduler(n_groups=2, engine="dense", random_state=0)
+        groups = scheduler.group_nodes(pool)
+        assert groups.shape[0] == 12
+        assert scheduler.mcdc_.engine == "dense"
+
+    def test_tie_breaking_deterministic_under_equal_demand(self):
+        from repro.distributed.node import NODE_FEATURES, ComputeNode, NodePool
+        from repro.distributed.scheduler import Task
+
+        # Identical nodes listed in scrambled id order: every placement step
+        # ties on accumulated demand, so only the node_id tie-break decides.
+        features = {f: NODE_FEATURES[f][0] for f in NODE_FEATURES}
+
+        def scrambled_pool(order):
+            return NodePool(
+                nodes=[ComputeNode(node_id=i, features=dict(features)) for i in order]
+            )
+
+        tasks = [Task(task_id=t, demand=1.0) for t in range(9)]
+        a = GranularityAwareScheduler(n_groups=2, random_state=0).assign(
+            tasks, scrambled_pool([2, 0, 1])
+        )
+        b = GranularityAwareScheduler(n_groups=2, random_state=0).assign(
+            tasks, scrambled_pool([0, 1, 2])
+        )
+        loads_a = {nid: len(ts) for nid, ts in a.items()}
+        loads_b = {nid: len(ts) for nid, ts in b.items()}
+        assert loads_a == loads_b
+        # First equal-demand tie goes to the smallest node_id.
+        assert a[0] and a[0][0].task_id == 0
+
 
 class TestSimulation:
     def test_makespan_positive_and_work_conserved(self):
@@ -116,6 +198,38 @@ class TestSimulation:
         tasks = make_tasks(8, random_state=3)
         report = simulate_distributed_execution(RoundRobinScheduler().assign(tasks, pool), pool)
         assert {"makespan", "total_work", "idle_fraction"} == set(report.summary())
+
+    def test_explicit_engine_matches_default(self):
+        pool = make_node_pool(6, random_state=0)
+        tasks = make_tasks(20, random_state=4)
+        assignment = RoundRobinScheduler().assign(tasks, pool)
+        default = simulate_distributed_execution(assignment, pool)
+        explicit = simulate_distributed_execution(assignment, pool, engine=MakespanModel())
+        assert default.makespan == explicit.makespan
+        assert default.node_finish_times == explicit.node_finish_times
+
+    def test_custom_engine_backend_plugs_in(self):
+        class ConstantEngine(ExecutionEngine):
+            def execute(self, assignment, pool):
+                return SimulationReport(
+                    makespan=1.0, total_work=2.0, node_finish_times={}, idle_fraction=0.0
+                )
+
+        pool = make_node_pool(4, random_state=0)
+        tasks = make_tasks(8, random_state=5)
+        assignment = RoundRobinScheduler().assign(tasks, pool)
+        report = simulate_distributed_execution(assignment, pool, engine=ConstantEngine())
+        assert report.makespan == 1.0 and report.total_work == 2.0
+
+    def test_report_order_independent_of_dict_insertion(self):
+        pool = make_node_pool(5, random_state=1)
+        tasks = make_tasks(15, random_state=6)
+        assignment = RoundRobinScheduler().assign(tasks, pool)
+        reversed_assignment = dict(reversed(list(assignment.items())))
+        a = simulate_distributed_execution(assignment, pool)
+        b = simulate_distributed_execution(reversed_assignment, pool)
+        assert a.makespan == b.makespan
+        assert list(a.node_finish_times) == list(b.node_finish_times)
 
 
 class TestDistributedMetrics:

@@ -1,0 +1,193 @@
+"""Equivalence tests for the sharded clustering runtime.
+
+The contract under test (ISSUE 2): shard-local sweeps + global count merge
+reproduce the serial estimators — exactly for the merged counts and for
+CAME, and to floating-point tolerance for MGCPL's learning trajectory
+(shard-wise partial sums regroup float additions).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CAME, MCDC, MGCPL
+from repro.core.mgcpl import cluster_weight_from_delta, winning_ratio
+from repro.core.sync import InProcessShardExecutor, SweepBroadcast, contiguous_shards
+from repro.data.uci.registry import load_dataset
+from repro.distributed import (
+    MultiGranularPartitioner,
+    ShardedCAME,
+    ShardedCoordinator,
+    ShardedMCDC,
+    ShardedMGCPL,
+    resolve_shard_indices,
+)
+from repro.engine import make_engine
+from repro.metrics import adjusted_rand_index
+
+
+class TestShardResolution:
+    def test_contiguous_split_covers_everything(self):
+        indices = resolve_shard_indices(101, 4)
+        assert len(indices) == 4
+        assert np.array_equal(np.sort(np.concatenate(indices)), np.arange(101))
+
+    def test_more_shards_than_objects_clamped(self):
+        indices = resolve_shard_indices(3, 8)
+        assert len(indices) == 3
+
+    def test_assignment_vector(self):
+        assignment = np.array([0, 1, 0, 2, 1])
+        indices = resolve_shard_indices(5, assignment)
+        assert [list(idx) for idx in indices] == [[0, 2], [1, 4], [3]]
+
+    def test_partition_plan_backs_sharding(self, small_clusters):
+        plan = MultiGranularPartitioner(3, random_state=0).fit_partition(small_clusters)
+        indices = resolve_shard_indices(small_clusters.n_objects, plan)
+        assert np.array_equal(
+            np.sort(np.concatenate(indices)), np.arange(small_clusters.n_objects)
+        )
+
+    def test_incomplete_cover_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_shard_indices(10, [np.arange(4)])
+        with pytest.raises(ValueError):
+            resolve_shard_indices(4, [np.array([0, 1]), np.array([1, 2])])
+
+
+class TestSweepProtocol:
+    """One LocalUpdate/GlobalStep round is exact regardless of the sharding."""
+
+    def _broadcast(self, state, k, d):
+        return SweepBroadcast(
+            state=state,
+            u=cluster_weight_from_delta(np.ones(k)),
+            rho=winning_ratio(np.zeros(k)),
+            omega=np.full((d, k), 1.0 / d),
+            blocked=(state.sizes <= 0),
+        )
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 5])
+    def test_sweep_outcome_matches_single_shard(self, small_clusters, n_shards):
+        codes, cats = small_clusters.codes, list(small_clusters.n_categories)
+        n = codes.shape[0]
+        k, d = 6, codes.shape[1]
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, k, size=n).astype(np.int64)
+
+        reference = InProcessShardExecutor(codes, cats, contiguous_shards(n, 1))
+        sharded = InProcessShardExecutor(codes, cats, contiguous_shards(n, n_shards))
+        state_ref = reference.begin_epoch(k, labels)
+        state_sh = sharded.begin_epoch(k, labels)
+        np.testing.assert_array_equal(state_ref.packed, state_sh.packed)
+
+        out_ref = reference.sweep(self._broadcast(state_ref, k, d))
+        out_sh = sharded.sweep(self._broadcast(state_sh, k, d))
+        # Assignments come from per-object argmax over identical scores.
+        np.testing.assert_array_equal(out_ref.labels, out_sh.labels)
+        np.testing.assert_array_equal(out_ref.state.packed, out_sh.state.packed)
+        np.testing.assert_array_equal(out_ref.win_counts, out_sh.win_counts)
+        np.testing.assert_allclose(out_ref.win_gain, out_sh.win_gain, atol=1e-12)
+        np.testing.assert_allclose(out_ref.rival_pen, out_sh.rival_pen, atol=1e-12)
+        assert out_ref.changed == out_sh.changed
+
+
+class TestShardedMGCPL:
+    @pytest.mark.parametrize("n_shards", [2, 3, 5])
+    def test_matches_serial_on_synthetic(self, small_clusters, n_shards):
+        serial = MGCPL(random_state=0).fit(small_clusters)
+        sharded = ShardedMGCPL(
+            n_shards=n_shards, backend="serial", random_state=0
+        ).fit(small_clusters)
+        assert adjusted_rand_index(serial.labels_, sharded.labels_) >= 0.99
+        assert sharded.kappa_ == serial.kappa_
+
+    @pytest.mark.parametrize("dataset_name", ["Vot", "Bal"])
+    def test_matches_serial_on_uci_analogues(self, dataset_name):
+        dataset = load_dataset(dataset_name)
+        serial = MGCPL(random_state=7).fit(dataset)
+        sharded = ShardedMGCPL(n_shards=4, backend="serial", random_state=7).fit(dataset)
+        assert adjusted_rand_index(serial.labels_, sharded.labels_) >= 0.95
+        assert abs(sharded.result_.final_k - serial.result_.final_k) <= 1
+
+    def test_process_backend_matches_serial(self, small_clusters):
+        serial = MGCPL(random_state=1).fit(small_clusters)
+        sharded = ShardedMGCPL(
+            n_shards=2, backend="process", random_state=1
+        ).fit(small_clusters)
+        assert adjusted_rand_index(serial.labels_, sharded.labels_) >= 0.99
+
+    def test_partition_plan_sharding(self, small_clusters):
+        plan = MultiGranularPartitioner(3, random_state=0).fit_partition(small_clusters)
+        sharded = ShardedMGCPL(n_shards=plan, backend="serial", random_state=0)
+        sharded.fit(small_clusters)
+        assert sharded.labels_.shape[0] == small_clusters.n_objects
+
+    def test_online_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedMGCPL(update_mode="online")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedMGCPL(backend="thread")
+
+
+class TestShardedCAME:
+    def test_bit_identical_to_serial(self, small_clusters):
+        gamma = MGCPL(random_state=3).fit(small_clusters).encoding_
+        serial = CAME(n_clusters=3, random_state=5).fit(gamma)
+        sharded = ShardedCAME(
+            n_clusters=3, n_shards=4, backend="serial", random_state=5
+        ).fit(gamma)
+        np.testing.assert_array_equal(serial.labels_, sharded.labels_)
+        assert serial.objective_ == sharded.objective_
+        np.testing.assert_array_equal(serial.modes_, sharded.modes_)
+        np.testing.assert_allclose(serial.feature_weights_, sharded.feature_weights_)
+
+
+class TestShardedMCDC:
+    def test_matches_serial_pipeline(self, small_clusters):
+        serial = MCDC(n_clusters=3, random_state=11).fit(small_clusters)
+        sharded = ShardedMCDC(
+            n_clusters=3, n_shards=3, backend="serial", random_state=11
+        ).fit(small_clusters)
+        assert adjusted_rand_index(serial.labels_, sharded.labels_) >= 0.95
+        assert sharded.kappa_ == serial.kappa_
+
+    def test_process_backend_pipeline(self, tiny_clusters):
+        sharded = ShardedMCDC(
+            n_clusters=2, n_shards=2, backend="process", n_init=2, random_state=0
+        ).fit(tiny_clusters)
+        assert adjusted_rand_index(tiny_clusters.labels, sharded.labels_) >= 0.8
+
+
+class TestShardedCoordinator:
+    def test_rebuild_merges_exactly(self, small_clusters):
+        codes, cats = small_clusters.codes, list(small_clusters.n_categories)
+        rng = np.random.default_rng(2)
+        labels = rng.integers(0, 5, size=codes.shape[0]).astype(np.int64)
+        with ShardedCoordinator(codes, cats, shards=3, backend="serial") as coordinator:
+            coordinator.begin_epoch(5, labels)
+            merged = coordinator.rebuild(labels)
+        full = make_engine(codes, cats, 5, labels=labels).snapshot()
+        np.testing.assert_array_equal(merged.packed, full.packed)
+        np.testing.assert_array_equal(merged.sizes, full.sizes)
+
+    def test_hamming_assign_matches_full_engine(self, small_clusters):
+        codes, cats = small_clusters.codes, list(small_clusters.n_categories)
+        rng = np.random.default_rng(4)
+        modes = codes[rng.choice(codes.shape[0], size=4, replace=False)]
+        theta = np.full(codes.shape[1], 1.0 / codes.shape[1])
+        with ShardedCoordinator(codes, cats, shards=4, backend="serial") as coordinator:
+            coordinator.begin_epoch(4, None)
+            labels = coordinator.hamming_assign(modes, theta)
+        full = make_engine(codes, cats, 4)
+        expected = np.argmin(full.hamming_distances(modes, theta), axis=1)
+        np.testing.assert_array_equal(labels, expected)
+
+    def test_process_backend_round_trip(self, tiny_clusters):
+        codes, cats = tiny_clusters.codes, list(tiny_clusters.n_categories)
+        labels = np.zeros(codes.shape[0], dtype=np.int64)
+        with ShardedCoordinator(codes, cats, shards=2, backend="process") as coordinator:
+            state = coordinator.begin_epoch(2, labels)
+        full = make_engine(codes, cats, 2, labels=labels).snapshot()
+        np.testing.assert_array_equal(state.packed, full.packed)
