@@ -3,23 +3,43 @@ Multi-Granular Competitive Learning" (ICDCS 2024).
 
 Public API highlights
 ---------------------
+* :func:`repro.make_clusterer` — build any registered method by name
+  (``"mcdc"``, ``"kmodes"``, ``"mcdc@sharded"``, the paper's ``"MCDC+G."``
+  aliases, ...); see :mod:`repro.registry`.
 * :class:`repro.core.MCDC` — the full clustering pipeline (MGCPL + CAME).
 * :class:`repro.core.MGCPL` — multi-granular competitive penalization learning.
 * :class:`repro.core.CAME` — aggregation of the multi-granular encoding.
 * :class:`repro.core.MCDCEncoder` — expose the encoding to other clusterers.
+* The v2 estimator contract on every method: ``fit`` / ``predict`` (out-of-
+  sample weighted-Hamming assignment), ``partial_fit`` (exact streaming) /
+  ``ingest`` (constant-time streaming), ``get_params`` / ``set_params`` /
+  ``clone``, and ``save`` / :func:`repro.load_model` persistence through
+  ``EngineState`` snapshots (:mod:`repro.persistence`).
 * :mod:`repro.engine` — the packed similarity engine every layer runs on
   (``dense``/``chunked`` vectorised backends + the ``loop`` reference).
 * :mod:`repro.baselines` — k-modes, ROCK, WOCIL, GUDMM, FKMAWCW, ADC.
 * :mod:`repro.data` — data set container, generators and the UCI benchmarks.
 * :mod:`repro.metrics` — ACC, ARI, AMI, FM validity indices.
-* :mod:`repro.distributed` — MCDC-guided data/node pre-partitioning.
+* :mod:`repro.distributed` — sharded runtime and MCDC-guided pre-partitioning.
 * :mod:`repro.experiments` — reproduction of every table and figure.
+
+Quick start::
+
+    from repro import make_clusterer, load_model
+
+    model = make_clusterer("mcdc", n_clusters=4, random_state=0).fit(train)
+    model.save("model.npz")
+    ...
+    server = load_model("model.npz")
+    labels = server.predict(new_batch)
 """
 
 from repro.core import CAME, MCDC, MCDCEncoder, MGCPL
 from repro.data import CategoricalDataset
+from repro.persistence import load_model, save_model
+from repro.registry import available_clusterers, make_clusterer
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "MCDC",
@@ -27,5 +47,9 @@ __all__ = [
     "CAME",
     "MCDCEncoder",
     "CategoricalDataset",
+    "make_clusterer",
+    "available_clusterers",
+    "load_model",
+    "save_model",
     "__version__",
 ]

@@ -17,12 +17,18 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.registry import register_clusterer
 from repro.core.base import ArrayOrDataset, BaseClusterer, coerce_codes, compact_labels
 from repro.distance.graph_based import graph_value_distances
 from repro.utils.rng import RandomState, spawn_rngs
 from repro.utils.validation import check_positive_int
 
 
+@register_clusterer(
+    "adc",
+    description="Attribute-weighted distance clustering baseline",
+    example_params={"n_clusters": 2},
+)
 class ADC(BaseClusterer):
     """Partitional clustering under a graph-based categorical dissimilarity.
 
@@ -50,7 +56,7 @@ class ADC(BaseClusterer):
         self.max_iter = check_positive_int(max_iter, "max_iter")
         self.random_state = random_state
 
-    def fit(self, X: ArrayOrDataset) -> "ADC":
+    def _fit(self, X: ArrayOrDataset) -> "ADC":
         codes, n_categories = coerce_codes(X)
         n = codes.shape[0]
         k = min(self.n_clusters, n)

@@ -15,11 +15,17 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.registry import register_clusterer
 from repro.core.base import ArrayOrDataset, BaseClusterer, coerce_codes, compact_labels
 from repro.utils.rng import RandomState, spawn_rngs
 from repro.utils.validation import check_positive_int
 
 
+@register_clusterer(
+    "fkmawcw",
+    description="Fuzzy k-modes with attribute and cluster weighting",
+    example_params={"n_clusters": 2},
+)
 class FKMAWCW(BaseClusterer):
     """Fuzzy k-modes with per-cluster attribute weights and cluster weights.
 
@@ -57,7 +63,7 @@ class FKMAWCW(BaseClusterer):
         self.tol = float(tol)
         self.random_state = random_state
 
-    def fit(self, X: ArrayOrDataset) -> "FKMAWCW":
+    def _fit(self, X: ArrayOrDataset) -> "FKMAWCW":
         codes, n_categories = coerce_codes(X)
         n = codes.shape[0]
         k = min(self.n_clusters, n)

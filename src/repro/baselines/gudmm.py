@@ -18,12 +18,18 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.registry import register_clusterer
 from repro.core.base import ArrayOrDataset, BaseClusterer, coerce_codes, compact_labels
 from repro.distance.value_cooccurrence import cooccurrence_value_distances
 from repro.utils.rng import RandomState, spawn_rngs
 from repro.utils.validation import check_positive_int
 
 
+@register_clusterer(
+    "gudmm",
+    description="Graph-based unified distance metric medoids baseline",
+    example_params={"n_clusters": 2},
+)
 class GUDMM(BaseClusterer):
     """Partitional clustering under a learned multi-aspect categorical metric.
 
@@ -56,7 +62,7 @@ class GUDMM(BaseClusterer):
         self.medoid_sample = check_positive_int(medoid_sample, "medoid_sample")
         self.random_state = random_state
 
-    def fit(self, X: ArrayOrDataset) -> "GUDMM":
+    def _fit(self, X: ArrayOrDataset) -> "GUDMM":
         codes, n_categories = coerce_codes(X)
         n = codes.shape[0]
         k = min(self.n_clusters, n)

@@ -11,10 +11,11 @@ for the dendrogram-style analyses in the examples.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
+from repro.registry import register_clusterer
 from repro.core.base import ArrayOrDataset, BaseClusterer, coerce_codes, compact_labels
 from repro.distance.hamming import pairwise_hamming
 from repro.utils.validation import check_positive_int
@@ -22,6 +23,12 @@ from repro.utils.validation import check_positive_int
 _LINKAGES = ("single", "complete", "average")
 
 
+@register_clusterer(
+    "hierarchical",
+    aliases=("agglomerative",),
+    description="Agglomerative clustering on Hamming distances",
+    example_params={"n_clusters": 2},
+)
 class AgglomerativeCategorical(BaseClusterer):
     """Linkage-based agglomerative clustering over the Hamming distance.
 
@@ -43,7 +50,7 @@ class AgglomerativeCategorical(BaseClusterer):
         self.linkage = linkage
         self.max_objects = check_positive_int(max_objects, "max_objects")
 
-    def fit(self, X: ArrayOrDataset) -> "AgglomerativeCategorical":
+    def _fit(self, X: ArrayOrDataset) -> "AgglomerativeCategorical":
         codes, _ = coerce_codes(X)
         n = codes.shape[0]
         if n > self.max_objects:

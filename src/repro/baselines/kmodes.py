@@ -10,16 +10,23 @@ kept.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.registry import register_clusterer
 from repro.core.base import ArrayOrDataset, BaseClusterer, coerce_codes, compact_labels
 from repro.distance.hamming import hamming_matrix
 from repro.utils.rng import RandomState, spawn_rngs
 from repro.utils.validation import check_positive_int
 
 
+@register_clusterer(
+    "kmodes",
+    aliases=("k-modes",),
+    description="Huang's k-modes baseline",
+    example_params={"n_clusters": 2},
+)
 class KModes(BaseClusterer):
     """k-modes clustering with Hamming distance and frequency-based mode updates.
 
@@ -54,7 +61,7 @@ class KModes(BaseClusterer):
         self.init = init
         self.random_state = random_state
 
-    def fit(self, X: ArrayOrDataset) -> "KModes":
+    def _fit(self, X: ArrayOrDataset) -> "KModes":
         codes, n_categories = coerce_codes(X)
         n = codes.shape[0]
         k = min(self.n_clusters, n)

@@ -16,15 +16,21 @@ outlier-robust labelling phase the original paper uses for scalability.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List
 
 import numpy as np
 
+from repro.registry import register_clusterer
 from repro.core.base import ArrayOrDataset, BaseClusterer, coerce_codes, compact_labels
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.validation import check_positive_int, check_probability
 
 
+@register_clusterer(
+    "rock",
+    description="RObust Clustering using linKs baseline",
+    example_params={"n_clusters": 2},
+)
 class ROCK(BaseClusterer):
     """Link-based agglomerative clustering for categorical data.
 
@@ -53,7 +59,7 @@ class ROCK(BaseClusterer):
         self.max_sample = check_positive_int(max_sample, "max_sample")
         self.random_state = random_state
 
-    def fit(self, X: ArrayOrDataset) -> "ROCK":
+    def _fit(self, X: ArrayOrDataset) -> "ROCK":
         codes, _ = coerce_codes(X)
         n = codes.shape[0]
         rng = ensure_rng(self.random_state)

@@ -22,12 +22,18 @@ from typing import Optional
 
 import numpy as np
 
+from repro.registry import register_clusterer
 from repro.core.base import ArrayOrDataset, BaseClusterer, coerce_codes, compact_labels
 from repro.engine import make_engine
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.validation import check_positive_int
 
 
+@register_clusterer(
+    "wocil",
+    description="Weighted object-cluster iterative learning baseline",
+    example_params={"n_clusters": 2},
+)
 class WOCIL(BaseClusterer):
     """Weighted object-cluster similarity clustering with cluster-number learning.
 
@@ -68,7 +74,7 @@ class WOCIL(BaseClusterer):
         self.engine = engine
         self.random_state = random_state
 
-    def fit(self, X: ArrayOrDataset) -> "WOCIL":
+    def _fit(self, X: ArrayOrDataset) -> "WOCIL":
         codes, n_categories = coerce_codes(X)
         n, d = codes.shape
         k0 = self.initial_clusters or (self.n_clusters + 3 if self.auto_k else self.n_clusters)

@@ -1,12 +1,24 @@
-"""Command-line entry point: ``python -m repro run <artefact> [options]``.
+"""Command-line entry point: ``python -m repro <command> [options]``.
 
-Wraps the experiment drivers of :mod:`repro.experiments` (Tables II-IV,
-Figs. 4-6) behind one command with the shared knobs — preset selection,
-trial parallelism, dataset subsetting — so reproducing an artefact is::
+Three families of commands:
+
+* ``repro run <artefact>`` — regenerate one of the paper's tables/figures
+  (wraps :mod:`repro.experiments` with the shared knobs: preset selection,
+  trial parallelism, dataset/method subsetting).
+* ``repro fit`` / ``repro predict`` — the estimator-serving path: fit any
+  registered clusterer on a data set, persist it as an ``.npz`` model
+  archive, and later load that archive to assign new objects.  This is the
+  end-to-end exercise of the v2 estimator contract
+  (:mod:`repro.registry` + :mod:`repro.persistence`).
+* ``repro methods`` — list every registered clusterer and its aliases.
+
+Examples::
 
     python -m repro run table3 --n-jobs 4
-    python -m repro run fig5 --datasets Vot Bal
-    python -m repro run table4 --preset paper
+    python -m repro run table3 --methods MCDC "MCDC+F."
+    python -m repro fit Vot --method mcdc --out vot.npz --seed 0
+    python -m repro predict vot.npz Vot --out labels.txt
+    python -m repro methods
 
 Installed as the ``repro-mcdc`` console script (see ``pyproject.toml``).
 """
@@ -14,7 +26,9 @@ Installed as the ``repro-mcdc`` console script (see ``pyproject.toml``).
 from __future__ import annotations
 
 import argparse
+import ast
 import dataclasses
+from pathlib import Path
 from typing import List, Optional
 
 ARTEFACTS = ("table2", "table3", "table4", "fig4", "fig5", "fig6")
@@ -23,7 +37,8 @@ ARTEFACTS = ("table2", "table3", "table4", "fig4", "fig5", "fig6")
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Reproduce the paper's tables and figures (MCDC / MGCPL / CAME).",
+        description="Reproduce the paper's artefacts and serve fitted clusterers "
+        "(MCDC / MGCPL / CAME).",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -56,11 +71,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--methods", nargs="+", default=None, metavar="NAME",
-        help="restrict to these methods (table3)",
+        help="restrict to these methods (table3); names are validated against "
+        "the clusterer registry",
     )
+
+    fit = subparsers.add_parser(
+        "fit", help="fit a registered clusterer and save the model archive"
+    )
+    fit.add_argument("data", help="UCI data set name (e.g. Vot) or a CSV/.data file path")
+    fit.add_argument("--method", default="mcdc", metavar="NAME",
+                     help="registered clusterer name (see 'repro methods')")
+    fit.add_argument("--out", required=True, metavar="PATH",
+                     help="where to write the .npz model archive")
+    fit.add_argument("--n-clusters", type=int, default=None, metavar="K",
+                     help="number of clusters (default: the data set's true k, else 2)")
+    fit.add_argument("--seed", type=int, default=0, metavar="SEED",
+                     help="random_state passed to the clusterer")
+    fit.add_argument("--set", dest="params", nargs="+", default=(), metavar="KEY=VALUE",
+                     help="extra constructor parameters, e.g. --set n_init=3 engine=dense")
+    _add_csv_options(fit)
+
+    predict = subparsers.add_parser(
+        "predict", help="load a saved model and assign objects to its clusters"
+    )
+    predict.add_argument("model", help="path to a model archive written by 'repro fit'")
+    predict.add_argument("data", help="UCI data set name or a CSV/.data file path")
+    predict.add_argument("--out", default=None, metavar="PATH",
+                         help="write one predicted label per line to PATH")
+    _add_csv_options(predict)
+
+    subparsers.add_parser("methods", help="list the registered clusterers")
     return parser
 
 
+def _add_csv_options(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--label-column", type=int, default=-1, metavar="COL",
+        help="class-label column of a CSV input (default: last; ignored for UCI names)",
+    )
+    sub.add_argument(
+        "--no-labels", action="store_true",
+        help="the CSV input has no class-label column",
+    )
+    sub.add_argument(
+        "--header", action="store_true",
+        help="the first row of a CSV input holds feature names",
+    )
+
+
+# ---------------------------------------------------------------------- #
+# repro run
+# ---------------------------------------------------------------------- #
 def _resolve_config(args: argparse.Namespace):
     from repro.experiments.config import FAST_CONFIG, PAPER_CONFIG, active_config
 
@@ -88,6 +149,23 @@ def _resolve_config(args: argparse.Namespace):
     return config
 
 
+def _validated_methods(names: Optional[List[str]]) -> Optional[List[str]]:
+    """Check experiment method names against the registry (clear error early)."""
+    if not names:
+        return None
+    from repro.registry import available_clusterers, resolve_name
+
+    for name in names:
+        try:
+            resolve_name(name)
+        except ValueError:
+            raise SystemExit(
+                f"unknown method {name!r}; registered clusterers: "
+                + ", ".join(available_clusterers())
+            )
+    return list(names)
+
+
 def _run(args: argparse.Namespace) -> int:
     config = _resolve_config(args)
     artefact = args.artefact
@@ -99,8 +177,7 @@ def _run(args: argparse.Namespace) -> int:
     elif artefact == "table3":
         from repro.experiments import table3
 
-        methods = list(args.methods) if args.methods else None
-        table3.main(config=config, methods=methods)
+        table3.main(config=config, methods=_validated_methods(args.methods))
     elif artefact == "table4":
         from repro.experiments import table4
 
@@ -122,10 +199,125 @@ def _run(args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------- #
+# repro fit / predict / methods
+# ---------------------------------------------------------------------- #
+def _load_cli_dataset(args: argparse.Namespace):
+    """Resolve the data argument: a UCI registry name, else a delimited file path."""
+    from repro.data.io import load_csv
+    from repro.data.uci.registry import get_spec
+
+    token = args.data
+    try:
+        spec = get_spec(token)
+    except (KeyError, ValueError):
+        spec = None
+    if spec is not None:
+        return spec.loader()
+    path = Path(token)
+    if not path.exists():
+        raise SystemExit(
+            f"{token!r} is neither a known UCI data set name nor an existing file"
+        )
+    return load_csv(
+        path,
+        label_column=None if args.no_labels else args.label_column,
+        has_header=args.header,
+    )
+
+
+def _parse_override(item: str):
+    """Parse one ``KEY=VALUE`` method parameter (VALUE via literal_eval)."""
+    if "=" not in item:
+        raise SystemExit(f"--set expects KEY=VALUE pairs, got {item!r}")
+    key, raw = item.split("=", 1)
+    try:
+        value = ast.literal_eval(raw)
+    except (ValueError, SyntaxError):
+        value = raw  # plain strings like engine=dense
+    return key.strip(), value
+
+
+def _fit(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.persistence import save_model
+    from repro.registry import make_clusterer
+
+    dataset = _load_cli_dataset(args)
+    n_clusters = args.n_clusters or dataset.n_clusters_true or 2
+    params = dict(_parse_override(item) for item in args.params)
+    params.setdefault("n_clusters", n_clusters)
+    params.setdefault("random_state", args.seed)
+    try:
+        model = make_clusterer(args.method, **params)
+    except TypeError as exc:
+        # MGCPL and friends discover k themselves and take no n_clusters —
+        # but only the *defaulted* k may be dropped silently; an explicit
+        # --n-clusters the method cannot honour is an error, and so is any
+        # other bad parameter (e.g. a --set typo).
+        if "n_clusters" not in str(exc):
+            raise
+        if args.n_clusters is not None:
+            raise SystemExit(
+                f"method {args.method!r} does not take --n-clusters "
+                "(it discovers the number of clusters itself)"
+            )
+        params.pop("n_clusters", None)
+        model = make_clusterer(args.method, **params)
+    model.fit(dataset)
+    path = save_model(model, args.out)
+
+    sizes = ", ".join(str(count) for count in np.bincount(model.labels_))
+    print(f"fitted {type(model).__name__} on {dataset.name}: "
+          f"n={dataset.n_objects}, k={model.n_clusters_} (sizes: {sizes})")
+    print(f"model saved to {path}")
+    return 0
+
+
+def _predict(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.persistence import load_model
+
+    model = load_model(args.model)
+    dataset = _load_cli_dataset(args)
+    labels = model.predict(dataset)
+
+    counts = np.bincount(labels, minlength=model.n_clusters_ or 1)
+    print(f"assigned {labels.shape[0]} objects to {int((counts > 0).sum())} of "
+          f"{model.n_clusters_} clusters (sizes: {', '.join(map(str, counts))})")
+    if dataset.labels is not None:
+        from repro.metrics import evaluate_clustering
+
+        scores = evaluate_clustering(dataset.labels, labels)
+        print("against ground truth: "
+              + ", ".join(f"{k}={v:.3f}" for k, v in scores.items()))
+    if args.out:
+        np.savetxt(args.out, labels, fmt="%d")
+        print(f"labels written to {args.out}")
+    return 0
+
+
+def _methods(_: argparse.Namespace) -> int:
+    from repro.registry import registered_specs
+
+    for spec in registered_specs():
+        aliases = f"  (aliases: {', '.join(spec.aliases)})" if spec.aliases else ""
+        print(f"{spec.name:<16} {spec.description}{aliases}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _run(args)
+    if args.command == "fit":
+        return _fit(args)
+    if args.command == "predict":
+        return _predict(args)
+    if args.command == "methods":
+        return _methods(args)
     return 0  # pragma: no cover - argparse requires a subcommand
 
 

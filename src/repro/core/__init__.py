@@ -1,5 +1,6 @@
 """The paper's primary contribution: MGCPL, CAME and the MCDC pipeline."""
 
+from repro.core.assignment import AssignmentModel, codes_in_vocabulary
 from repro.core.base import BaseClusterer, coerce_codes
 from repro.core.came import CAME
 from repro.core.competitive import CompetitiveLearningClusterer
@@ -8,8 +9,10 @@ from repro.core.mgcpl import MGCPL, MGCPLResult
 from repro.core.ablations import MCDC1, MCDC2, MCDC3, MCDC4, make_ablation
 
 __all__ = [
+    "AssignmentModel",
     "BaseClusterer",
     "coerce_codes",
+    "codes_in_vocabulary",
     "CompetitiveLearningClusterer",
     "MGCPL",
     "MGCPLResult",

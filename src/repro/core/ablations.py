@@ -24,10 +24,16 @@ from repro.core.competitive import CompetitiveLearningClusterer
 from repro.core.mcdc import MCDC
 from repro.core.mgcpl import MGCPL
 from repro.engine import make_engine
-from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+from repro.registry import register_clusterer
+from repro.utils.rng import RandomState, spawn_rngs
 from repro.utils.validation import check_positive_int
 
 
+@register_clusterer(
+    "mcdc4",
+    description="MCDC ablation: CAME level-weighting disabled",
+    example_params={"n_clusters": 2},
+)
 class MCDC4(MCDC):
     """MCDC with CAME's level-weighting disabled (identical weights)."""
 
@@ -51,6 +57,10 @@ class MCDC4(MCDC):
         )
 
 
+@register_clusterer(
+    "mcdc3",
+    description="MCDC ablation: coarsest MGCPL partition, no CAME",
+)
 class MCDC3(BaseClusterer):
     """MCDC without CAME: the coarsest MGCPL partition is the clustering result.
 
@@ -72,7 +82,10 @@ class MCDC3(BaseClusterer):
         self.update_mode = update_mode
         self.random_state = random_state
 
-    def fit(self, X: ArrayOrDataset) -> "MCDC3":
+    #: Fitted attributes persisted alongside the assignment model.
+    _persisted_attributes = ("kappa_",)
+
+    def _fit(self, X: ArrayOrDataset) -> "MCDC3":
         self.mgcpl_ = MGCPL(
             k0=self.k0,
             learning_rate=self.learning_rate,
@@ -85,6 +98,11 @@ class MCDC3(BaseClusterer):
         return self
 
 
+@register_clusterer(
+    "mcdc2",
+    description="MCDC ablation: plain competitive learning with k*+2 clusters",
+    example_params={"n_clusters": 2},
+)
 class MCDC2(BaseClusterer):
     """Conventional competitive learning (Sec. II-B) initialised with ``k* + 2`` clusters."""
 
@@ -100,7 +118,7 @@ class MCDC2(BaseClusterer):
         self.learning_rate = learning_rate
         self.random_state = random_state
 
-    def fit(self, X: ArrayOrDataset) -> "MCDC2":
+    def _fit(self, X: ArrayOrDataset) -> "MCDC2":
         clusterer = CompetitiveLearningClusterer(
             n_initial_clusters=self.n_clusters + self.extra_clusters,
             learning_rate=self.learning_rate,
@@ -112,6 +130,11 @@ class MCDC2(BaseClusterer):
         return self
 
 
+@register_clusterer(
+    "mcdc1",
+    description="MCDC ablation: iterative partitioning with Sec. II-A similarity",
+    example_params={"n_clusters": 2},
+)
 class MCDC1(BaseClusterer):
     """Iterative partitioning with the object-cluster similarity of Sec. II-A and given ``k*``.
 
@@ -132,7 +155,7 @@ class MCDC1(BaseClusterer):
         self.max_iter = check_positive_int(max_iter, "max_iter")
         self.random_state = random_state
 
-    def fit(self, X: ArrayOrDataset) -> "MCDC1":
+    def _fit(self, X: ArrayOrDataset) -> "MCDC1":
         codes, n_categories = coerce_codes(X)
         n, d = codes.shape
         k = min(self.n_clusters, n)

@@ -1,0 +1,181 @@
+"""Out-of-sample assignment model shared by every fitted clusterer.
+
+The v2 estimator contract (``predict`` on unseen objects, constant-time
+streaming ``ingest``, ``save``/``load`` persistence) needs one thing from a
+fitted model that ``labels_`` alone cannot provide: a *rule* that maps a new
+object to one of the learned clusters.  The paper already has that rule —
+CAME assigns objects to the cluster whose mode is nearest under a weighted
+Hamming distance (Eq. 20), with the feature weights of Eqs. 15-18 expressing
+how sharply each feature separates the clusters.  :class:`AssignmentModel`
+generalises it to any fitted partition:
+
+* the per-cluster modes and feature weights are pure functions of an
+  :class:`~repro.engine.state.EngineState` — the additive, serializable,
+  mergeable sufficient statistics introduced for the sharded runtime — so the
+  model is exactly what :mod:`repro.persistence` writes to disk and what a
+  serving tier loads;
+* category codes outside the fitted vocabulary are mapped to missing
+  (``-1``), which the Hamming kernel counts as an always-mismatch — an unseen
+  value carries no evidence for any cluster;
+* :meth:`ingest` folds a freshly-assigned batch back into the statistics via
+  :meth:`EngineState.merge`, the exact (bit-identical) count merge, which is
+  the primitive behind ``BaseClusterer.ingest`` streaming.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.engine.state import EngineState, state_from_labels
+
+#: Row-block size of the chunked distance kernel: bounds the ``(rows, k, d)``
+#: mismatch tensor at roughly 8k * k * d bytes.
+ASSIGN_CHUNK_ROWS = 8192
+
+
+def codes_in_vocabulary(codes: np.ndarray, n_categories) -> np.ndarray:
+    """Map codes outside the fitted vocabulary to missing (``-1``).
+
+    Used at predict time: a raw array from a new batch may contain category
+    codes the model never saw during ``fit`` (or negative placeholders other
+    than ``-1``).  Treating them as a fresh category would silently inflate
+    the vocabulary; treating them as missing keeps every downstream kernel on
+    the fitted ``(k, M)`` layout.
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    limits = np.asarray(list(n_categories), dtype=np.int64)
+    if codes.ndim != 2 or codes.shape[1] != limits.shape[0]:
+        raise ValueError(
+            f"codes must be 2-d with {limits.shape[0]} features, got shape {codes.shape}"
+        )
+    return np.where((codes >= 0) & (codes < limits[None, :]), codes, -1)
+
+
+class AssignmentModel:
+    """Weighted-Hamming assignment to the fitted per-cluster modes.
+
+    Parameters
+    ----------
+    state:
+        Sufficient statistics of the fitted partition over the training
+        feature space (original codes for MGCPL/MCDC/baselines, the
+        multi-granular encoding ``Gamma`` for CAME).
+    feature_weights:
+        Optional ``(d,)`` per-feature weights (CAME's fitted ``Theta``).
+        ``None`` uses the per-cluster Eqs. 15-18 weights ``omega_rl`` derived
+        from ``state``, i.e. feature ``r`` counts more towards cluster ``l``
+        the better it separates ``l`` from the rest.
+    """
+
+    def __init__(self, state: EngineState, feature_weights: Optional[np.ndarray] = None) -> None:
+        self.state = state
+        self.feature_weights = (
+            None if feature_weights is None else np.asarray(feature_weights, dtype=np.float64)
+        )
+        if self.feature_weights is not None and self.feature_weights.shape != (
+            state.n_features,
+        ):
+            raise ValueError(
+                f"feature_weights must have shape ({state.n_features},), "
+                f"got {self.feature_weights.shape}"
+            )
+        self._cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    @classmethod
+    def from_labels(
+        cls,
+        codes: np.ndarray,
+        n_categories,
+        labels: np.ndarray,
+        feature_weights: Optional[np.ndarray] = None,
+    ) -> "AssignmentModel":
+        """Build the model by counting a fitted assignment."""
+        return cls(state_from_labels(codes, n_categories, labels), feature_weights)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def n_clusters(self) -> int:
+        return self.state.n_clusters
+
+    @property
+    def n_features(self) -> int:
+        return self.state.n_features
+
+    @property
+    def n_categories(self) -> Tuple[int, ...]:
+        return self.state.n_categories
+
+    def _modes_and_weights(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The ``(k, d)`` modes and ``(k, d)`` distance weights (cached)."""
+        if self._cache is None:
+            modes = self.state.modes()
+            if self.feature_weights is not None:
+                weights = np.broadcast_to(
+                    self.feature_weights[None, :], modes.shape
+                ).astype(np.float64)
+            else:
+                weights = np.ascontiguousarray(self.state.feature_cluster_weights().T)
+            self._cache = (modes, weights)
+        return self._cache
+
+    @property
+    def modes(self) -> np.ndarray:
+        """Per-cluster modal values over the training feature space: ``(k, d)``."""
+        return self._modes_and_weights()[0]
+
+    # ------------------------------------------------------------------ #
+    def coerce(self, codes: np.ndarray) -> np.ndarray:
+        """Clamp a raw coded batch into the fitted vocabulary (unseen -> ``-1``)."""
+        return codes_in_vocabulary(codes, self.state.n_categories)
+
+    def distances(self, codes: np.ndarray) -> np.ndarray:
+        """Weighted Hamming distance of each (coerced) row to every cluster: ``(n, k)``.
+
+        Missing values on either side (object or mode) always count as a
+        mismatch, matching the engines' Hamming kernel.
+        """
+        return self._distances(self.coerce(codes))
+
+    def _distances(self, codes: np.ndarray) -> np.ndarray:
+        """Distance kernel over codes already clamped into the vocabulary."""
+        modes, weights = self._modes_and_weights()
+        n = codes.shape[0]
+        out = np.empty((n, modes.shape[0]), dtype=np.float64)
+        mode_missing = modes < 0
+        for start in range(0, max(n, 1), ASSIGN_CHUNK_ROWS):
+            block = codes[start : start + ASSIGN_CHUNK_ROWS]
+            mismatch = (block[:, None, :] != modes[None, :, :]) | (
+                block[:, None, :] < 0
+            ) | mode_missing[None, :, :]
+            out[start : start + block.shape[0]] = np.einsum(
+                "ilr,lr->il", mismatch.astype(np.float64), weights
+            )
+        return out
+
+    def assign(self, codes: np.ndarray) -> np.ndarray:
+        """Nearest-mode cluster of each row (ties resolved to the lowest id)."""
+        return self.distances(codes).argmin(axis=1).astype(np.int64)
+
+    # ------------------------------------------------------------------ #
+    def ingest(self, codes: np.ndarray) -> np.ndarray:
+        """Assign a new batch and fold its counts into the statistics.
+
+        The batch's contribution is counted as an incremental
+        :class:`EngineState` delta and merged exactly
+        (:meth:`EngineState.merge`), so after ingesting batches ``B1..Bk``
+        the statistics equal those of counting ``B1 + ... + Bk`` under the
+        same assignments in one pass.  Modes and weights are refreshed from
+        the merged counts — this is the constant-time streaming path.
+        """
+        codes = self.coerce(codes)
+        labels = self._distances(codes).argmin(axis=1).astype(np.int64)
+        delta = state_from_labels(codes, self.state.n_categories, labels, self.n_clusters)
+        self.state = self.state.merge(delta)
+        self._cache = None
+        return labels
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "theta" if self.feature_weights is not None else "omega"
+        return f"AssignmentModel(k={self.n_clusters}, d={self.n_features}, weights={kind})"

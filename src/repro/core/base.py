@@ -1,16 +1,60 @@
-"""Common clusterer interface shared by the core method and every baseline."""
+"""The v2 estimator contract shared by the core methods and every baseline.
+
+Every clusterer in the library implements one sklearn-style interface:
+
+* ``fit(X)`` / ``fit_predict(X)`` — cluster the training data.  Subclasses
+  implement the :meth:`BaseClusterer._fit` hook; the public ``fit`` template
+  additionally builds the out-of-sample :class:`AssignmentModel` (the paper's
+  CAME assignment rule generalised to unseen objects) from the fitted labels.
+* ``predict(X)`` — assign *new* objects to the fitted clusters by weighted
+  Hamming distance to the per-cluster modes (Eqs. 15-18 feature weights;
+  codes outside the fitted vocabulary are mapped to missing).
+* ``partial_fit(X)`` — exact streaming ingest: batches are buffered and the
+  model is refitted on everything seen so far, so ``partial_fit`` over any
+  split of the data matches ``fit`` on the concatenation bit-identically
+  (for an integer ``random_state``).  ``ingest(X)`` is the constant-time
+  alternative that folds a batch into the fitted sufficient statistics via
+  exact :class:`~repro.engine.state.EngineState` merges without refitting.
+* ``get_params()`` / ``set_params()`` / ``clone()`` — config-driven
+  construction; the central registry (:mod:`repro.registry`) builds on it.
+* ``save(path)`` / ``load(path)`` — persistence through ``EngineState``
+  snapshots (:mod:`repro.persistence`); a saved model predicts
+  bit-identically after loading.
+"""
 
 from __future__ import annotations
 
+import inspect
 from abc import ABC, abstractmethod
-from typing import List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.core.assignment import AssignmentModel, codes_in_vocabulary
 from repro.data.dataset import CategoricalDataset
 from repro.utils.validation import check_array_2d
 
 ArrayOrDataset = Union[np.ndarray, CategoricalDataset]
+
+__all__ = [
+    "ArrayOrDataset",
+    "BaseClusterer",
+    "coerce_codes",
+    "codes_in_vocabulary",
+    "compact_labels",
+    "extract_codes",
+]
+
+
+def extract_codes(X: ArrayOrDataset) -> np.ndarray:
+    """The ``(n, d)`` code matrix of ``X``, without deriving vocabularies.
+
+    The cheap sibling of :func:`coerce_codes` for consumers that evaluate
+    against an already-fitted vocabulary (``predict``, ``ingest``).
+    """
+    if isinstance(X, CategoricalDataset):
+        return X.codes
+    return check_array_2d(X, "X", dtype=np.int64)
 
 
 def coerce_codes(X: ArrayOrDataset) -> Tuple[np.ndarray, List[int]]:
@@ -18,45 +62,240 @@ def coerce_codes(X: ArrayOrDataset) -> Tuple[np.ndarray, List[int]]:
 
     Returns the ``(n, d)`` integer code matrix and the per-feature vocabulary
     sizes.  Raw arrays are assumed to already be integer-coded with ``-1``
-    marking missing values.
+    marking missing values; the vocabulary of each feature is one vectorised
+    column-max (``codes.max(axis=0)``), not a per-column Python loop.
     """
     if isinstance(X, CategoricalDataset):
         return X.codes, list(X.n_categories)
     codes = check_array_2d(X, "X", dtype=np.int64)
-    n_categories = [int(max(codes[:, r].max(), 0)) + 1 for r in range(codes.shape[1])]
-    return codes, n_categories
+    n_categories = np.maximum(codes.max(axis=0), 0) + 1
+    return codes, [int(m) for m in n_categories]
 
 
 class BaseClusterer(ABC):
-    """Abstract base class: ``fit`` computes ``labels_`` over the training data.
+    """Abstract base class: the v2 estimator contract.
 
-    Subclasses must set ``labels_`` (an ``(n,)`` integer vector) and
-    ``n_clusters_`` (the number of clusters actually produced) during
-    :meth:`fit`.  ``fit_predict`` is provided for convenience.
+    Subclasses implement :meth:`_fit`, which must set ``labels_`` (an ``(n,)``
+    integer vector) and ``n_clusters_`` (the number of clusters actually
+    produced).  Everything else — out-of-sample ``predict``, streaming
+    ``partial_fit`` / ``ingest``, parameter introspection and persistence —
+    is provided by this base class.
+
+    Construction convention (relied on by :meth:`get_params`): every
+    ``__init__`` parameter is stored on ``self`` under its own name, possibly
+    validated/normalised but never renamed.
     """
 
     labels_: Optional[np.ndarray] = None
     n_clusters_: Optional[int] = None
+    assignment_model_: Optional[AssignmentModel] = None
 
+    #: Fitted attributes (beyond ``labels_`` / ``n_clusters_`` / the
+    #: assignment model) that :mod:`repro.persistence` round-trips.  Values
+    #: must be arrays, scalars or flat lists of ints/floats.
+    _persisted_attributes: Tuple[str, ...] = ()
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
     @abstractmethod
-    def fit(self, X: ArrayOrDataset) -> "BaseClusterer":
+    def _fit(self, X: ArrayOrDataset) -> "BaseClusterer":
         """Cluster the data set and populate ``labels_`` / ``n_clusters_``."""
+
+    def fit(self, X: ArrayOrDataset) -> "BaseClusterer":
+        """Cluster the data and build the out-of-sample assignment model.
+
+        ``fit`` starts from scratch: any stream accumulated by earlier
+        :meth:`partial_fit` calls is discarded (the sklearn convention), so
+        ``fit`` and ``partial_fit`` histories cannot silently interleave.
+        """
+        self._reset_stream()
+        self._fit(X)
+        self._check_fitted()
+        self.assignment_model_ = self._build_assignment_model(X)
+        return self
+
+    def _reset_stream(self) -> None:
+        self._stream_codes_ = None
+        self._stream_n_categories_ = None
+        self.n_batches_seen_ = 0
 
     def fit_predict(self, X: ArrayOrDataset) -> np.ndarray:
         """Fit and return the cluster labels."""
         self.fit(X)
-        assert self.labels_ is not None
+        self._check_fitted()
         return self.labels_
 
+    def _build_assignment_model(self, X: ArrayOrDataset) -> AssignmentModel:
+        """Sufficient statistics of the fitted partition over the fit space.
+
+        The default counts the training codes under ``labels_`` and uses the
+        Eqs. 15-18 per-cluster feature weights; subclasses with their own
+        fitted weights (CAME's ``Theta``) override this.
+        """
+        codes, n_categories = coerce_codes(X)
+        return AssignmentModel.from_labels(codes, n_categories, self.labels_)
+
+    # ------------------------------------------------------------------ #
+    # Out-of-sample assignment and streaming
+    # ------------------------------------------------------------------ #
+    def predict(self, X: ArrayOrDataset) -> np.ndarray:
+        """Assign new objects to the fitted clusters.
+
+        Uses the weighted-Hamming nearest-mode rule (the paper's CAME
+        assignment, Eq. 20, with Eqs. 15-18 feature weights) over the feature
+        space the model was fitted on.  ``X`` must be coded in the *training*
+        vocabulary; codes the model never saw are treated as missing.
+        """
+        self._check_fitted()
+        return self.assignment_model_.assign(extract_codes(X))
+
+    def partial_fit(self, X: ArrayOrDataset) -> "BaseClusterer":
+        """Exact streaming ingest: buffer the batch and refit on all data seen.
+
+        After ``partial_fit`` over batches ``B1, ..., Bk`` the model is
+        bit-identical to ``fit`` on the concatenation (given an integer
+        ``random_state``, which makes every refit draw the same seeds).  The
+        cost therefore grows with the stream; use :meth:`ingest` for the
+        constant-time alternative that keeps the fitted cluster structure and
+        only folds the batch into the sufficient statistics.
+
+        An intervening :meth:`fit` discards the stream, and the stream is not
+        persisted by :meth:`save` — a loaded model's ``partial_fit`` starts a
+        fresh stream (use :meth:`ingest` for serving-side updates).
+        """
+        codes, n_categories = coerce_codes(X)
+        if getattr(self, "_stream_codes_", None) is None:
+            stream_codes = np.array(codes, dtype=np.int64, copy=True)
+            stream_vocab = np.asarray(n_categories, dtype=np.int64)
+            n_batches = 1
+        else:
+            if codes.shape[1] != self._stream_codes_.shape[1]:
+                raise ValueError(
+                    f"batch has {codes.shape[1]} features, stream has "
+                    f"{self._stream_codes_.shape[1]}"
+                )
+            stream_codes = np.vstack([self._stream_codes_, codes])
+            stream_vocab = np.maximum(
+                self._stream_n_categories_, np.asarray(n_categories, dtype=np.int64)
+            )
+            n_batches = self.n_batches_seen_ + 1
+        buffer = CategoricalDataset.from_codes(
+            stream_codes,
+            n_categories=[int(m) for m in stream_vocab],
+            name="partial-fit-stream",
+        )
+        self.fit(buffer)
+        # fit() cleared the stream; re-arm it so the next batch continues it.
+        self._stream_codes_ = stream_codes
+        self._stream_n_categories_ = stream_vocab
+        self.n_batches_seen_ = n_batches
+        return self
+
+    def ingest(self, X: ArrayOrDataset) -> np.ndarray:
+        """Constant-time streaming: assign a batch and merge its statistics.
+
+        The batch is assigned with :meth:`predict`, its counts are folded
+        into the fitted :class:`~repro.engine.state.EngineState` by an exact
+        merge, the per-cluster modes/weights refresh from the merged counts,
+        and ``labels_`` is extended with the batch's labels.  The cluster
+        *structure* is not revisited — this is the serving-tier path; use
+        :meth:`partial_fit` when the stream should be able to reshape the
+        clustering.
+        """
+        self._check_fitted()
+        labels = self.assignment_model_.ingest(extract_codes(X))
+        self.labels_ = np.concatenate([self.labels_, labels])
+        return labels
+
+    # ------------------------------------------------------------------ #
+    # Parameters, cloning
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def _get_param_names(cls) -> List[str]:
+        """Constructor parameter names, walking the MRO through ``**kwargs``.
+
+        A wrapper ``__init__`` that forwards ``**params`` to its parent
+        (e.g. the ``Sharded*`` estimators) contributes its explicit
+        parameters and defers the rest to the next ``__init__`` in the MRO.
+        """
+        names: List[str] = []
+        seen = set()
+        for klass in cls.__mro__:
+            init = klass.__dict__.get("__init__")
+            if init is None:
+                continue
+            has_var_keyword = False
+            for pname, param in inspect.signature(init).parameters.items():
+                if pname == "self" or param.kind == param.VAR_POSITIONAL:
+                    continue
+                if param.kind == param.VAR_KEYWORD:
+                    has_var_keyword = True
+                    continue
+                if pname not in seen:
+                    seen.add(pname)
+                    names.append(pname)
+            if not has_var_keyword:
+                break
+        return sorted(names)
+
+    def get_params(self) -> Dict[str, Any]:
+        """The constructor parameters with their current values."""
+        return {name: getattr(self, name) for name in self._get_param_names()}
+
+    def set_params(self, **params: Any) -> "BaseClusterer":
+        """Update constructor parameters (re-validating through ``__init__``)."""
+        valid = set(self._get_param_names())
+        unknown = sorted(set(params) - valid)
+        if unknown:
+            raise ValueError(
+                f"Invalid parameter(s) {unknown} for {type(self).__name__}; "
+                f"valid parameters are {sorted(valid)}"
+            )
+        merged = {**self.get_params(), **params}
+        self.__init__(**merged)  # re-runs the subclass validation
+        return self
+
+    def clone(self) -> "BaseClusterer":
+        """An unfitted copy with the same parameters (nested estimators cloned)."""
+        params = {}
+        for name, value in self.get_params().items():
+            if isinstance(value, BaseClusterer):
+                value = value.clone()
+            elif isinstance(value, np.ndarray):
+                value = value.copy()
+            params[name] = value
+        return type(self)(**params)
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path) -> None:
+        """Persist the fitted model to ``path`` (see :mod:`repro.persistence`)."""
+        from repro.persistence import save_model
+
+        save_model(self, path)
+
+    @classmethod
+    def load(cls, path) -> "BaseClusterer":
+        """Load a model saved with :meth:`save`; must be an instance of ``cls``."""
+        from repro.persistence import load_model
+
+        model = load_model(path)
+        if not isinstance(model, cls):
+            raise TypeError(
+                f"{path} holds a {type(model).__name__}, not a {cls.__name__}"
+            )
+        return model
+
+    # ------------------------------------------------------------------ #
     def _check_fitted(self) -> None:
         if self.labels_ is None:
             raise RuntimeError(f"{type(self).__name__} has not been fitted yet")
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         params = ", ".join(
-            f"{key}={value!r}"
-            for key, value in sorted(vars(self).items())
-            if not key.endswith("_") and not key.startswith("_")
+            f"{key}={value!r}" for key, value in sorted(self.get_params().items())
         )
         return f"{type(self).__name__}({params})"
 

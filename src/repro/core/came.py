@@ -22,13 +22,20 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.core.assignment import AssignmentModel
 from repro.core.base import ArrayOrDataset, BaseClusterer, coerce_codes, compact_labels
 from repro.core.sync import InProcessShardExecutor
 from repro.engine import ENGINES, EngineState
-from repro.utils.rng import RandomState, ensure_rng, spawn_rngs
+from repro.registry import register_clusterer
+from repro.utils.rng import RandomState, spawn_rngs
 from repro.utils.validation import check_positive_int
 
 
+@register_clusterer(
+    "came",
+    description="Cluster Aggregation based on MGCPL Encoding (Algorithm 2)",
+    example_params={"n_clusters": 2},
+)
 class CAME(BaseClusterer):
     """Feature-weighted k-modes aggregation of a multi-granular encoding.
 
@@ -84,7 +91,7 @@ class CAME(BaseClusterer):
         self.random_state = random_state
 
     # ------------------------------------------------------------------ #
-    def fit(self, X: ArrayOrDataset) -> "CAME":
+    def _fit(self, X: ArrayOrDataset) -> "CAME":
         """Cluster the encoding ``Gamma`` (an ``(n, sigma)`` label matrix)."""
         gamma, n_categories = coerce_codes(X)
         n, sigma = gamma.shape
@@ -129,6 +136,22 @@ class CAME(BaseClusterer):
         self.objective_ = float(objective)
         self.n_iter_ = int(n_iter)
         return self
+
+    #: Fitted attributes persisted alongside the assignment model.
+    _persisted_attributes = ("feature_weights_", "modes_", "objective_", "n_iter_")
+
+    def _build_assignment_model(self, X: ArrayOrDataset) -> AssignmentModel:
+        """CAME predicts with its fitted level weights ``Theta`` (Eq. 20).
+
+        The counts are taken over the raw encoding (missing entries stay
+        missing, i.e. always-mismatch at predict time, matching
+        ``hamming_distances``); the weights are the learned ``Theta`` rather
+        than the generic Eqs. 15-18 weights.
+        """
+        gamma, n_categories = coerce_codes(X)
+        return AssignmentModel.from_labels(
+            gamma, n_categories, self.labels_, feature_weights=self.feature_weights_
+        )
 
     # ------------------------------------------------------------------ #
     def _make_executor(self, gamma: np.ndarray, n_categories) -> InProcessShardExecutor:

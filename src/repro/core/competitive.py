@@ -15,16 +15,23 @@ penalization and multi-granular stages.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 
 from repro.core.base import ArrayOrDataset, BaseClusterer, coerce_codes, compact_labels
 from repro.engine import make_engine
+from repro.registry import register_clusterer
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.validation import check_positive_int
 
 
+@register_clusterer(
+    "competitive",
+    aliases=("competitive-learning",),
+    description="Frequency-sensitive competitive learning (Sec. II-B)",
+    example_params={"n_initial_clusters": 4},
+)
 class CompetitiveLearningClusterer(BaseClusterer):
     """Competitive learning clusterer (Sec. II-B) with cluster elimination.
 
@@ -64,7 +71,7 @@ class CompetitiveLearningClusterer(BaseClusterer):
         self.engine = engine
         self.random_state = random_state
 
-    def fit(self, X: ArrayOrDataset) -> "CompetitiveLearningClusterer":
+    def _fit(self, X: ArrayOrDataset) -> "CompetitiveLearningClusterer":
         codes, n_categories = coerce_codes(X)
         n, d = codes.shape
         rng = ensure_rng(self.random_state)

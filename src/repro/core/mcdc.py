@@ -16,10 +16,11 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.core.base import ArrayOrDataset, BaseClusterer, coerce_codes
+from repro.core.base import ArrayOrDataset, BaseClusterer
 from repro.core.came import CAME
 from repro.core.mgcpl import MGCPL, MGCPLResult
 from repro.data.dataset import CategoricalDataset
+from repro.registry import register_clusterer
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.validation import check_positive_int
 
@@ -73,14 +74,21 @@ class MCDCEncoder:
         return self.encoding_
 
     def transform_dataset(self, name: str = "mgcpl-encoding") -> CategoricalDataset:
-        """Return the encoding wrapped as a :class:`CategoricalDataset`."""
+        """Return the encoding wrapped as a :class:`CategoricalDataset`.
+
+        Feature names carry the level index *and* its cluster count: MGCPL
+        converges exactly when two consecutive levels share a cluster count,
+        so naming levels by ``kappa`` alone would produce duplicate names
+        (and :class:`CategoricalDataset` rejects those — this is what made
+        every ``final_clusterer`` pipeline fail on converged encodings).
+        """
         self._check_fitted()
         gamma = self.encoding_
         n_categories = [int(gamma[:, r].max()) + 1 for r in range(gamma.shape[1])]
         return CategoricalDataset.from_codes(
             gamma,
             n_categories=n_categories,
-            feature_names=[f"granularity_{k}" for k in self.kappa_],
+            feature_names=[f"level_{i}_k{k}" for i, k in enumerate(self.kappa_)],
             name=name,
         )
 
@@ -92,6 +100,12 @@ class MCDCEncoder:
             raise RuntimeError("MCDCEncoder must be fitted before transform()")
 
 
+@register_clusterer(
+    "mcdc",
+    aliases=("mcdc+came",),
+    description="The complete MCDC pipeline (MGCPL + CAME)",
+    example_params={"n_clusters": 2},
+)
 class MCDC(BaseClusterer):
     """The complete MCDC clustering approach (MGCPL + CAME).
 
@@ -173,7 +187,10 @@ class MCDC(BaseClusterer):
             random_state=seed,
         )
 
-    def fit(self, X: ArrayOrDataset) -> "MCDC":
+    #: Fitted attributes persisted alongside the assignment model.
+    _persisted_attributes = ("kappa_",)
+
+    def _fit(self, X: ArrayOrDataset) -> "MCDC":
         rng = ensure_rng(self.random_state)
         encoder_seed = int(rng.integers(0, 2**31 - 1))
         aggregator_seed = int(rng.integers(0, 2**31 - 1))
@@ -200,3 +217,54 @@ class MCDC(BaseClusterer):
         """The learned ``kappa`` sequence (requires a fitted model)."""
         self._check_fitted()
         return list(self.kappa_)
+
+
+# ---------------------------------------------------------------------- #
+# Composite paper methods: MCDC enhancing an existing clusterer (Sec. IV-A)
+# ---------------------------------------------------------------------- #
+def _enhanced_mcdc(final_factory, n_clusters, final_n_init, random_state, params):
+    final = final_factory(
+        n_clusters=n_clusters, n_init=final_n_init, random_state=random_state
+    )
+    return MCDC(
+        n_clusters=n_clusters,
+        final_clusterer=final,
+        random_state=random_state,
+        **params,
+    )
+
+
+@register_clusterer(
+    "mcdc+gudmm",
+    aliases=("mcdc+g", "mcdc+g."),
+    description="MCDC enhancing GUDMM: GUDMM clusters the MGCPL encoding",
+    example_params={"n_clusters": 2},
+)
+def make_mcdc_gudmm(
+    n_clusters: int,
+    final_n_init: int = 3,
+    random_state: RandomState = None,
+    **mcdc_params,
+) -> MCDC:
+    """The paper's ``MCDC+G.``: GUDMM applied to the MGCPL encoding."""
+    from repro.baselines.gudmm import GUDMM  # local import: baselines layer
+
+    return _enhanced_mcdc(GUDMM, n_clusters, final_n_init, random_state, mcdc_params)
+
+
+@register_clusterer(
+    "mcdc+fkmawcw",
+    aliases=("mcdc+f", "mcdc+f."),
+    description="MCDC enhancing FKMAWCW: FKMAWCW clusters the MGCPL encoding",
+    example_params={"n_clusters": 2},
+)
+def make_mcdc_fkmawcw(
+    n_clusters: int,
+    final_n_init: int = 3,
+    random_state: RandomState = None,
+    **mcdc_params,
+) -> MCDC:
+    """The paper's ``MCDC+F.``: FKMAWCW applied to the MGCPL encoding."""
+    from repro.baselines.fkmawcw import FKMAWCW  # local import: baselines layer
+
+    return _enhanced_mcdc(FKMAWCW, n_clusters, final_n_init, random_state, mcdc_params)

@@ -45,6 +45,7 @@ import numpy as np
 from repro.core.base import ArrayOrDataset, BaseClusterer, coerce_codes, compact_labels
 from repro.core.sync import InProcessShardExecutor, SweepBroadcast
 from repro.engine import ENGINES, make_engine
+from repro.registry import register_clusterer
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.validation import check_positive_int
 
@@ -144,6 +145,10 @@ class MGCPLResult:
         return best
 
 
+@register_clusterer(
+    "mgcpl",
+    description="Multi-Granular Competitive Penalization Learning (Algorithm 1)",
+)
 class MGCPL(BaseClusterer):
     """Multi-Granular Competitive Penalization Learning (Algorithm 1).
 
@@ -232,7 +237,10 @@ class MGCPL(BaseClusterer):
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
-    def fit(self, X: ArrayOrDataset) -> "MGCPL":
+    #: Fitted attributes persisted alongside the assignment model.
+    _persisted_attributes = ("kappa_",)
+
+    def _fit(self, X: ArrayOrDataset) -> "MGCPL":
         codes, n_categories = coerce_codes(X)
         n, d = codes.shape
         rng = ensure_rng(self.random_state)

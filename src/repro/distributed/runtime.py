@@ -49,6 +49,7 @@ from repro.core.sync import (
 )
 from repro.distributed.partitioner import PartitionPlan
 from repro.engine import EngineState
+from repro.registry import register_clusterer
 from repro.utils.validation import check_positive_int
 
 BACKENDS = ("process", "serial")
@@ -275,6 +276,12 @@ class _ShardedMixin:
         )
 
 
+@register_clusterer(
+    "mgcpl@sharded",
+    aliases=("sharded-mgcpl", "sharded_mgcpl"),
+    description="MGCPL with batch epochs sharded over worker processes",
+    example_params={"n_shards": 2, "backend": "serial"},
+)
 class ShardedMGCPL(_ShardedMixin, MGCPL):
     """MGCPL whose batch epochs run sharded over worker processes.
 
@@ -312,6 +319,12 @@ class ShardedMGCPL(_ShardedMixin, MGCPL):
         return self._make_coordinator(codes, n_categories, self.engine)
 
 
+@register_clusterer(
+    "came@sharded",
+    aliases=("sharded-came", "sharded_came"),
+    description="CAME with assignment and count rebuilds sharded",
+    example_params={"n_clusters": 2, "n_shards": 2, "backend": "serial"},
+)
 class ShardedCAME(_ShardedMixin, CAME):
     """CAME whose assignment and count-rebuild steps run sharded.
 
@@ -363,6 +376,12 @@ class ShardedMCDCEncoder(_ShardedMixin, MCDCEncoder):
         )
 
 
+@register_clusterer(
+    "mcdc@sharded",
+    aliases=("sharded-mcdc", "sharded_mcdc"),
+    description="The full MCDC pipeline on the sharded runtime",
+    example_params={"n_clusters": 2, "n_shards": 2, "backend": "serial"},
+)
 class ShardedMCDC(_ShardedMixin, MCDC):
     """The full MCDC pipeline on the sharded runtime.
 

@@ -9,7 +9,7 @@ import numpy as np
 
 from repro.core.mcdc import MCDC
 from repro.distributed.node import NodePool
-from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.rng import RandomState
 from repro.utils.validation import check_positive_int
 
 

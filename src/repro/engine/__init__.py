@@ -25,7 +25,7 @@ import numpy as np
 from repro.engine.base import FrequencyEngine
 from repro.engine.packed import ChunkedEngine, DenseEngine, PackedFrequencyEngine
 from repro.engine.reference import LoopEngine
-from repro.engine.state import EngineState
+from repro.engine.state import EngineState, state_from_labels
 
 ENGINES = {
     "dense": DenseEngine,
@@ -86,6 +86,7 @@ def make_engine(
 
 __all__ = [
     "EngineState",
+    "state_from_labels",
     "FrequencyEngine",
     "PackedFrequencyEngine",
     "DenseEngine",

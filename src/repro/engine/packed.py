@@ -28,7 +28,7 @@ Two production backends share this machinery:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

@@ -120,6 +120,50 @@ def counts_modes(
     return out
 
 
+def state_from_labels(
+    codes: np.ndarray,
+    n_categories: Sequence[int],
+    labels: np.ndarray,
+    n_clusters: int | None = None,
+) -> "EngineState":
+    """Count an assignment directly into an :class:`EngineState`.
+
+    Follows the same conventions as the engine backends: ``sizes`` counts
+    every assigned object (``labels >= 0``), while ``packed`` and
+    ``valid_counts`` exclude missing entries (``codes == -1``).  The result is
+    bit-identical to ``make_engine(...).snapshot()`` but needs no engine (no
+    one-hot cache, no similarity kernels), which is what makes it cheap enough
+    to run after every fit — it is the persistence layer's way of capturing a
+    fitted model's sufficient statistics.
+    """
+    codes = np.asarray(codes, dtype=np.int64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.shape[0] != codes.shape[0]:
+        raise ValueError("labels must have one entry per object")
+    n_categories = [int(m) for m in n_categories]
+    d = len(n_categories)
+    if codes.shape[1] != d:
+        raise ValueError(f"codes has {codes.shape[1]} features but n_categories has {d}")
+    if n_clusters is None:
+        n_clusters = int(labels.max()) + 1 if labels.size and labels.max() >= 0 else 1
+    k = int(n_clusters)
+    offsets = _offsets(n_categories)
+
+    assigned = labels >= 0
+    sizes = np.bincount(labels[assigned], minlength=k)[:k].astype(np.float64)
+    packed = np.zeros((k, sum(n_categories)), dtype=np.float64)
+    valid = np.zeros((k, d), dtype=np.float64)
+    for r in range(d):
+        col = codes[:, r]
+        present = assigned & (col >= 0)
+        lab = labels[present]
+        m_r = n_categories[r]
+        flat = np.bincount(lab * m_r + col[present], minlength=k * m_r)[: k * m_r]
+        packed[:, offsets[r] : offsets[r] + m_r] = flat.reshape(k, m_r)
+        valid[:, r] = np.bincount(lab, minlength=k)[:k]
+    return EngineState(packed, valid, sizes, tuple(n_categories))
+
+
 @dataclass
 class EngineState:
     """Additive sufficient statistics of a frequency engine.

@@ -20,7 +20,12 @@ Fig. 6         :func:`run_fig6`                            ``repro.experiments.f
 """
 
 from repro.experiments.config import ExperimentConfig, FAST_CONFIG, PAPER_CONFIG
-from repro.experiments.runner import make_method, method_names, run_method_on_dataset
+from repro.experiments.runner import (
+    make_method,
+    make_paper_method,
+    method_names,
+    run_method_on_dataset,
+)
 from repro.experiments.table2 import run_table2
 from repro.experiments.table3 import run_table3
 from repro.experiments.table4 import run_table4
@@ -33,6 +38,7 @@ __all__ = [
     "FAST_CONFIG",
     "PAPER_CONFIG",
     "make_method",
+    "make_paper_method",
     "method_names",
     "run_method_on_dataset",
     "run_table2",

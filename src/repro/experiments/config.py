@@ -14,8 +14,8 @@ Select with the environment variable ``REPRO_EXPERIMENT_PRESET=paper``.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 
 @dataclass(frozen=True)

@@ -8,36 +8,23 @@ import numpy as np
 
 from functools import partial
 
-from repro.core import MCDC
-from repro.core.ablations import MCDC1, MCDC2, MCDC3, MCDC4
 from repro.data.uci.registry import get_spec
 from repro.experiments.config import ExperimentConfig, active_config
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import map_trials
 from repro.metrics import adjusted_rand_index
+from repro.registry import make_clusterer
 from repro.utils.rng import ensure_rng
 
+#: The five compared versions (registry names double as display labels).
 ABLATION_ORDER = ("MCDC", "MCDC4", "MCDC3", "MCDC2", "MCDC1")
-
-
-def _make_version(name: str, n_clusters: int, seed: int):
-    if name == "MCDC":
-        return MCDC(n_clusters=n_clusters, random_state=seed)
-    if name == "MCDC4":
-        return MCDC4(n_clusters=n_clusters, random_state=seed)
-    if name == "MCDC3":
-        return MCDC3(n_clusters=n_clusters, random_state=seed)
-    if name == "MCDC2":
-        return MCDC2(n_clusters=n_clusters, random_state=seed)
-    if name == "MCDC1":
-        return MCDC1(n_clusters=n_clusters, random_state=seed)
-    raise ValueError(f"Unknown ablation version {name!r}")
 
 
 def _ablation_trial(seed: int, version: str, dataset, n_clusters: int) -> float:
     """One restart of one ablated version; failures score zero (paper convention)."""
     try:
-        labels = _make_version(version, n_clusters, seed).fit_predict(dataset)
+        method = make_clusterer(version, n_clusters=n_clusters, random_state=seed)
+        labels = method.fit_predict(dataset)
         return adjusted_rand_index(dataset.labels, labels)
     except Exception:
         return 0.0

@@ -6,12 +6,11 @@ import time
 from functools import partial
 from typing import Dict, List, Optional
 
-from repro.core import MCDC
-from repro.baselines import KModes
 from repro.data.generators import make_categorical_clusters
 from repro.experiments.config import ExperimentConfig, active_config
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import map_trials
+from repro.registry import make_clusterer
 
 #: Methods timed in the scalability sweeps.  The paper plots several
 #: counterparts; k-modes is the representative linear baseline and MCDC is the
@@ -22,12 +21,9 @@ TIMED_METHODS = ("MCDC", "K-MODES")
 
 
 def _time_method(name: str, dataset, n_clusters: int, seed: int) -> float:
-    if name == "MCDC":
-        method = MCDC(n_clusters=n_clusters, n_init=2, random_state=seed)
-    elif name == "K-MODES":
-        method = KModes(n_clusters=n_clusters, n_init=2, random_state=seed)
-    else:
+    if name not in TIMED_METHODS:
         raise ValueError(f"Unknown timed method {name!r}")
+    method = make_clusterer(name, n_clusters=n_clusters, n_init=2, random_state=seed)
     start = time.perf_counter()
     method.fit(dataset)
     return time.perf_counter() - start

@@ -10,17 +10,18 @@ through this module.
 
 from __future__ import annotations
 
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from functools import partial
-from typing import Callable, Dict, List, Optional, Sequence, TypeVar
+from typing import Any, Callable, Dict, List, Optional, Sequence, TypeVar
 
 import numpy as np
 
-from repro.baselines import ADC, FKMAWCW, GUDMM, KModes, ROCK, WOCIL
-from repro.core import MCDC
+from repro.core.base import BaseClusterer
 from repro.data.dataset import CategoricalDataset
 from repro.experiments.config import ExperimentConfig
 from repro.metrics import INDEX_NAMES, evaluate_clustering
+from repro.registry import make_clusterer, resolve_name
 from repro.utils.rng import ensure_rng
 
 T = TypeVar("T")
@@ -38,49 +39,66 @@ METHOD_NAMES = (
     "MCDC+F.",
 )
 
+#: Paper hyper-parameters of each Table III method, keyed by the canonical
+#: registry name (the paper's column names resolve to these via aliases).
+#: ``learning_rate`` entries of ``None`` are filled from the experiment
+#: config at construction time.
+PAPER_METHOD_PARAMS: Dict[str, Dict[str, Any]] = {
+    "kmodes": {"n_init": 5},
+    "rock": {},
+    "wocil": {},
+    "fkmawcw": {"n_init": 3},
+    "gudmm": {"n_init": 3},
+    "adc": {"n_init": 3},
+    "mcdc": {"learning_rate": None, "n_init": 5},
+    "mcdc+gudmm": {"learning_rate": None, "final_n_init": 3},
+    "mcdc+fkmawcw": {"learning_rate": None, "final_n_init": 3},
+}
+
 
 def method_names() -> List[str]:
     """The nine compared methods, in the paper's column order."""
     return list(METHOD_NAMES)
 
 
-def make_method(name: str, n_clusters: int, seed: int, config: Optional[ExperimentConfig] = None):
+def make_paper_method(
+    name: str, n_clusters: int, seed: int, config: Optional[ExperimentConfig] = None
+) -> BaseClusterer:
     """Instantiate one of the compared methods with the paper's hyper-parameters.
 
-    ``MCDC+G.`` and ``MCDC+F.`` are MCDC variants whose final clustering stage
-    is GUDMM / FKMAWCW applied to the MGCPL encoding (paper Sec. IV-A).
+    ``name`` is resolved through the clusterer registry, so both the paper's
+    Table III column names (``"MCDC+G."``) and the canonical registry names
+    (``"mcdc+gudmm"``) work.  ``MCDC+G.`` and ``MCDC+F.`` are MCDC variants
+    whose final clustering stage is GUDMM / FKMAWCW applied to the MGCPL
+    encoding (paper Sec. IV-A).
     """
-    lr = config.learning_rate if config is not None else 0.03
-    name = name.upper().replace(" ", "")
-    if name in ("K-MODES", "KMODES"):
-        return KModes(n_clusters=n_clusters, n_init=5, random_state=seed)
-    if name == "ROCK":
-        return ROCK(n_clusters=n_clusters, random_state=seed)
-    if name == "WOCIL":
-        return WOCIL(n_clusters=n_clusters, random_state=seed)
-    if name == "FKMAWCW":
-        return FKMAWCW(n_clusters=n_clusters, n_init=3, random_state=seed)
-    if name == "GUDMM":
-        return GUDMM(n_clusters=n_clusters, n_init=3, random_state=seed)
-    if name == "ADC":
-        return ADC(n_clusters=n_clusters, n_init=3, random_state=seed)
-    if name == "MCDC":
-        return MCDC(n_clusters=n_clusters, learning_rate=lr, n_init=5, random_state=seed)
-    if name in ("MCDC+G.", "MCDC+G"):
-        return MCDC(
-            n_clusters=n_clusters,
-            learning_rate=lr,
-            final_clusterer=GUDMM(n_clusters=n_clusters, n_init=3, random_state=seed),
-            random_state=seed,
+    canonical = resolve_name(name)
+    if canonical not in PAPER_METHOD_PARAMS:
+        raise ValueError(
+            f"{name!r} is not one of the paper's compared methods "
+            f"({', '.join(METHOD_NAMES)}); use repro.registry.make_clusterer "
+            "to construct it with explicit parameters"
         )
-    if name in ("MCDC+F.", "MCDC+F"):
-        return MCDC(
-            n_clusters=n_clusters,
-            learning_rate=lr,
-            final_clusterer=FKMAWCW(n_clusters=n_clusters, n_init=3, random_state=seed),
-            random_state=seed,
-        )
-    raise ValueError(f"Unknown method {name!r}; expected one of {METHOD_NAMES}")
+    params = dict(PAPER_METHOD_PARAMS[canonical])
+    if params.get("learning_rate", 0.0) is None:
+        params["learning_rate"] = config.learning_rate if config is not None else 0.03
+    return make_clusterer(canonical, n_clusters=n_clusters, random_state=seed, **params)
+
+
+def make_method(name: str, n_clusters: int, seed: int, config: Optional[ExperimentConfig] = None):
+    """Deprecated alias of :func:`make_paper_method`.
+
+    Kept so pre-registry callers (and the old paper names) keep working; new
+    code should use :func:`repro.registry.make_clusterer` directly, or
+    :func:`make_paper_method` for the Table III hyper-parameter presets.
+    """
+    warnings.warn(
+        "make_method() is deprecated; use repro.registry.make_clusterer() or "
+        "repro.experiments.runner.make_paper_method() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return make_paper_method(name, n_clusters, seed, config)
 
 
 def map_trials(trial: Callable[..., T], items: Sequence, n_jobs: int = 1) -> List[T]:
@@ -119,7 +137,7 @@ def _score_trial(
     A run that raises is recorded as all-zero scores — the same convention
     the paper uses for methods "judged as failed" on a data set.
     """
-    method = make_method(method_name, n_clusters, seed, config)
+    method = make_paper_method(method_name, n_clusters, seed, config)
     try:
         labels = method.fit_predict(dataset)
         return evaluate_clustering(dataset.labels, labels)

@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.experiments.config import ExperimentConfig, active_config
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import METHOD_NAMES
 from repro.experiments.table3 import run_table3
 from repro.metrics import INDEX_NAMES
 from repro.stats import wilcoxon_signed_rank

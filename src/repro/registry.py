@@ -1,0 +1,181 @@
+"""Central clusterer registry: one place that knows every method by name.
+
+Before this module existed, the method zoo was re-enumerated by hand in every
+layer — the experiment runner's ``if``/``elif`` ladder, the CLI's method list,
+the figure drivers' private factories.  Now each estimator registers itself
+where it is defined::
+
+    @register_clusterer("mcdc", aliases=("MCDC",), example_params={"n_clusters": 2})
+    class MCDC(BaseClusterer):
+        ...
+
+and every consumer constructs through the factory::
+
+    model = make_clusterer("mcdc", n_clusters=4, random_state=0)
+    model = make_clusterer("mcdc@sharded", n_clusters=4, n_shards=8)
+    model = make_clusterer("MCDC+G.", n_clusters=4)   # paper aliases resolve too
+
+Names are case-insensitive and ignore spaces; the paper's Table III column
+names (``"K-MODES"``, ``"MCDC+G."``) are registered as aliases of the
+canonical entries, and the sharded wrappers are registered under
+``"<name>@sharded"``.  Registration itself lives next to each class; this
+module lazily imports the implementation packages on first lookup, so
+``import repro.registry`` stays cycle-free and cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "ClustererSpec",
+    "register_clusterer",
+    "make_clusterer",
+    "resolve_name",
+    "get_clusterer_spec",
+    "available_clusterers",
+    "registered_specs",
+    "spec_for_instance",
+]
+
+_REGISTRY: Dict[str, "ClustererSpec"] = {}
+_ALIASES: Dict[str, str] = {}
+_populated = False
+
+
+def _normalize(name: str) -> str:
+    """Case- and whitespace-insensitive lookup key."""
+    return name.strip().lower().replace(" ", "")
+
+
+@dataclass(frozen=True)
+class ClustererSpec:
+    """One registry entry: how to build a clusterer and what to call it."""
+
+    name: str
+    factory: Callable[..., Any]
+    cls: Optional[type]
+    aliases: Tuple[str, ...] = ()
+    description: str = ""
+    #: Minimal kwargs with which ``factory`` constructs a working instance;
+    #: used by the registry-completeness test and by documentation.
+    example_params: Dict[str, Any] = field(default_factory=dict)
+
+
+def register_clusterer(
+    name: str,
+    *,
+    aliases: Tuple[str, ...] = (),
+    description: str = "",
+    example_params: Optional[Dict[str, Any]] = None,
+):
+    """Class/function decorator adding an entry to the clusterer registry.
+
+    Applied to a :class:`~repro.core.base.BaseClusterer` subclass the class
+    itself is the factory; applied to a function the function is the factory
+    (used for composite methods such as ``"mcdc+gudmm"``, where the paper
+    method is an MCDC configured with a baseline as final clusterer).
+    """
+
+    def wrap(obj):
+        doc_lines = (obj.__doc__ or "").strip().splitlines()
+        spec = ClustererSpec(
+            name=_normalize(name),
+            factory=obj,
+            cls=obj if isinstance(obj, type) else None,
+            aliases=tuple(_normalize(a) for a in aliases),
+            description=description or (doc_lines[0] if doc_lines else ""),
+            example_params=dict(example_params or {}),
+        )
+        key = spec.name
+        existing = _REGISTRY.get(key)
+        if existing is not None and existing.factory is not obj:
+            raise ValueError(f"clusterer name {key!r} is already registered")
+        _REGISTRY[key] = spec
+        for alias in spec.aliases:
+            claimed = _ALIASES.get(alias)
+            if claimed is not None and claimed != key:
+                raise ValueError(f"alias {alias!r} already points at {claimed!r}")
+            _ALIASES[alias] = key
+        return obj
+
+    return wrap
+
+
+def _ensure_populated() -> None:
+    """Import the packages whose modules carry the registration decorators."""
+    global _populated
+    if _populated:
+        return
+    _populated = True  # set first: the imports below re-enter via decorators
+    try:
+        import repro.baselines  # noqa: F401
+        import repro.core  # noqa: F401
+        import repro.distributed.runtime  # noqa: F401
+    except BaseException:
+        # Roll back so the next lookup retries the imports and surfaces the
+        # real failure instead of an empty "Unknown clusterer" registry.
+        _populated = False
+        raise
+
+
+def resolve_name(name: str) -> str:
+    """Canonical registry name for ``name`` (exact, alias, or error)."""
+    _ensure_populated()
+    key = _normalize(name)
+    if key in _REGISTRY:
+        return key
+    if key in _ALIASES:
+        return _ALIASES[key]
+    raise ValueError(
+        f"Unknown clusterer {name!r}; available: {', '.join(available_clusterers())}"
+    )
+
+
+def get_clusterer_spec(name: str) -> ClustererSpec:
+    """The :class:`ClustererSpec` registered under ``name`` (or an alias)."""
+    return _REGISTRY[resolve_name(name)]
+
+
+def make_clusterer(name: str, **params: Any):
+    """Construct a registered clusterer by name.
+
+    ``params`` are passed to the registered factory unchanged, so each
+    method's own signature (and validation) applies::
+
+        make_clusterer("kmodes", n_clusters=3, n_init=5, random_state=0)
+    """
+    return get_clusterer_spec(name).factory(**params)
+
+
+def available_clusterers() -> List[str]:
+    """Sorted canonical names of every registered clusterer."""
+    _ensure_populated()
+    return sorted(_REGISTRY)
+
+
+def registered_specs() -> List[ClustererSpec]:
+    """All registry entries, sorted by canonical name."""
+    _ensure_populated()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def spec_for_instance(model: Any) -> ClustererSpec:
+    """The registry entry whose class is exactly ``type(model)``.
+
+    Composite (function-factory) entries have no class of their own; a model
+    they build resolves to the underlying class's entry — e.g. the
+    ``"mcdc+gudmm"`` factory returns an :class:`~repro.core.mcdc.MCDC`, which
+    resolves to ``"mcdc"`` and persists its ``final_clusterer`` as a nested
+    parameter.
+    """
+    _ensure_populated()
+    for name in sorted(_REGISTRY):
+        spec = _REGISTRY[name]
+        if spec.cls is type(model):
+            return spec
+    raise ValueError(
+        f"{type(model).__name__} is not a registered clusterer class; "
+        "register it with @register_clusterer to enable persistence"
+    )

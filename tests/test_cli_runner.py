@@ -82,3 +82,71 @@ class TestCLI:
     def test_invalid_n_jobs_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "table2", "--n-jobs", "0"])
+
+    def test_run_table3_unknown_method_rejected_early(self):
+        with pytest.raises(SystemExit, match="registered clusterers"):
+            main(["run", "table3", "--datasets", "Vot", "--methods", "DBSCAN"])
+
+
+class TestServingCLI:
+    """repro fit / repro predict exercise the persistence path end to end."""
+
+    def test_methods_lists_registry(self, capsys):
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        assert "mcdc" in out and "kmodes" in out and "mcdc@sharded" in out
+
+    def test_fit_then_predict_uci(self, tmp_path, capsys):
+        model_path = tmp_path / "vot.npz"
+        labels_path = tmp_path / "labels.txt"
+
+        assert main(["fit", "Vot", "--method", "mcdc", "--out", str(model_path),
+                     "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "fitted MCDC" in out and model_path.exists()
+
+        assert main(["predict", str(model_path), "Vot",
+                     "--out", str(labels_path)]) == 0
+        out = capsys.readouterr().out
+        assert "assigned" in out and "ACC=" in out
+        labels = np.loadtxt(labels_path, dtype=np.int64)
+        from repro.data.uci import load_vote
+
+        assert labels.shape[0] == load_vote().n_objects
+
+    def test_fit_then_predict_csv(self, tmp_path, runner_dataset, capsys):
+        from repro.data.io import save_csv
+
+        csv_path = tmp_path / "data.csv"
+        save_csv(runner_dataset, csv_path)
+        model_path = tmp_path / "model.npz"
+
+        assert main(["fit", str(csv_path), "--method", "kmodes",
+                     "--n-clusters", "3", "--out", str(model_path),
+                     "--set", "n_init=2"]) == 0
+        capsys.readouterr()
+        assert main(["predict", str(model_path), str(csv_path)]) == 0
+        assert "assigned" in capsys.readouterr().out
+
+    def test_fit_k_free_method(self, tmp_path, capsys):
+        # MGCPL takes no n_clusters; the CLI must drop the default cleanly.
+        model_path = tmp_path / "mgcpl.npz"
+        assert main(["fit", "Vot", "--method", "mgcpl", "--out", str(model_path)]) == 0
+        assert model_path.exists()
+        capsys.readouterr()
+
+    def test_fit_explicit_k_on_k_free_method_rejected(self, tmp_path):
+        # ... but an explicit --n-clusters must not be dropped silently.
+        with pytest.raises(SystemExit, match="does not take --n-clusters"):
+            main(["fit", "Vot", "--method", "mgcpl", "--n-clusters", "7",
+                  "--out", str(tmp_path / "x.npz")])
+
+    def test_fit_bad_set_param_surfaces_original_error(self, tmp_path):
+        with pytest.raises(TypeError, match="bogus"):
+            main(["fit", "Vot", "--method", "mcdc", "--n-clusters", "2",
+                  "--set", "bogus=1", "--out", str(tmp_path / "x.npz")])
+
+    def test_fit_unknown_data_token(self, tmp_path):
+        with pytest.raises(SystemExit, match="neither"):
+            main(["fit", "no-such-thing", "--method", "mcdc",
+                  "--out", str(tmp_path / "x.npz")])

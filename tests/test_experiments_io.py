@@ -1,6 +1,5 @@
 """Tests for the experiment harness, reporting helpers and CSV I/O."""
 
-import numpy as np
 import pytest
 
 from repro.data.io import load_csv, save_csv
@@ -9,7 +8,7 @@ from repro.experiments.config import ExperimentConfig, FAST_CONFIG, PAPER_CONFIG
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.fig6 import linear_fit_r2
 from repro.experiments.reporting import format_mean_std, format_table, highlight_best
-from repro.experiments.runner import make_method, method_names, run_method_on_dataset
+from repro.experiments.runner import make_paper_method, method_names, run_method_on_dataset
 from repro.experiments.table2 import run_table2
 from repro.experiments.table4 import run_table4
 from repro.metrics import INDEX_NAMES
@@ -34,14 +33,14 @@ class TestRunner:
         assert len(names) == 9
         assert names[0] == "K-MODES" and names[-1] == "MCDC+F."
 
-    def test_make_method_all_names(self):
+    def test_make_paper_method_all_names(self):
         for name in method_names():
-            model = make_method(name, n_clusters=2, seed=0)
+            model = make_paper_method(name, n_clusters=2, seed=0)
             assert hasattr(model, "fit_predict")
 
-    def test_make_method_unknown(self):
+    def test_make_paper_method_unknown(self):
         with pytest.raises(ValueError):
-            make_method("DBSCAN", 2, 0)
+            make_paper_method("DBSCAN", 2, 0)
 
     def test_run_method_on_dataset_aggregates(self):
         dataset = load_vote()
