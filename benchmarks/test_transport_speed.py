@@ -1,0 +1,127 @@
+"""Benchmark: sweep throughput of the serial / process / loopback-TCP backends.
+
+One MGCPL sweep is the unit of work of the whole distributed runtime: the
+coordinator broadcasts ``O(k * M)`` counts, every shard runs the competition
+for its objects, and the shard states merge back.  This benchmark times that
+round trip through ``make_executor`` for every registered transport on the
+same data and shard layout, which puts a number on each transport's overhead
+(loopback TCP pays two codec passes and a socket hop per shard per sweep;
+the process backend pays pickling; serial pays nothing).
+
+The default size is scaled down so the suite stays fast; export
+``REPRO_BENCH_FULL=1`` for the acceptance scale.  Throughput assertions are
+not armed here — relative backend speed is machine-dependent — but every
+backend must produce **bit-identical** sweep outcomes, which is asserted on
+every run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.mgcpl import cluster_weight_from_delta, winning_ratio
+from repro.core.sync import SweepBroadcast
+from repro.data.generators import make_categorical_clusters
+from repro.distributed import make_executor
+from repro.distributed.rpc import local_worker_pool
+
+FULL_SCALE = os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0")
+
+BENCH_N = 100_000 if FULL_SCALE else 6_000
+BENCH_D = 12
+BENCH_K = 24
+BENCH_SHARDS = 4
+N_SWEEPS = 8 if FULL_SCALE else 3
+
+
+def _bench_dataset():
+    return make_categorical_clusters(
+        n_objects=BENCH_N, n_features=BENCH_D, n_clusters=6, n_categories=6,
+        purity=0.75, random_state=31, name="transport-speed",
+    )
+
+
+def _run_sweeps(executor, labels, k, d):
+    """Drive ``N_SWEEPS`` broadcast/sweep rounds; returns the last outcome."""
+    state = executor.begin_epoch(k, labels)
+    outcome = None
+    for _ in range(N_SWEEPS):
+        broadcast = SweepBroadcast(
+            state=state,
+            u=cluster_weight_from_delta(np.ones(k)),
+            rho=winning_ratio(np.zeros(k)),
+            omega=np.full((d, k), 1.0 / d),
+            blocked=(state.sizes <= 0),
+        )
+        outcome = executor.sweep(broadcast)
+        state = outcome.state
+    return outcome
+
+
+def test_transport_sweep_throughput(benchmark):
+    ds = _bench_dataset()
+    codes, cats = ds.codes, list(ds.n_categories)
+    d = codes.shape[1]
+    rng = np.random.default_rng(0)
+    labels = rng.integers(0, BENCH_K, size=codes.shape[0]).astype(np.int64)
+
+    outcomes, seconds = {}, {}
+
+    def timed(backend_name, **options):
+        with make_executor(
+            backend_name, codes, cats, shards=BENCH_SHARDS, **options
+        ) as executor:
+            start = time.perf_counter()
+            outcome = _run_sweeps(executor, labels, BENCH_K, d)
+            seconds[backend_name] = time.perf_counter() - start
+        outcomes[backend_name] = outcome
+
+    def all_backends():
+        timed("serial")
+        timed("process")
+        with local_worker_pool(BENCH_SHARDS) as hosts:
+            timed("tcp", hosts=hosts)
+
+    benchmark.pedantic(all_backends, iterations=1, rounds=1)
+
+    for name, elapsed in seconds.items():
+        benchmark.extra_info[f"{name}_seconds"] = elapsed
+        benchmark.extra_info[f"{name}_sweeps_per_s"] = N_SWEEPS / max(elapsed, 1e-9)
+    benchmark.extra_info["n_objects"] = BENCH_N
+    benchmark.extra_info["n_shards"] = BENCH_SHARDS
+
+    # Transports must not change the math: every backend's final sweep is
+    # bit-identical (same shard layout, same merge order, exact codecs).
+    reference = outcomes["serial"]
+    for name in ("process", "tcp"):
+        np.testing.assert_array_equal(outcomes[name].labels, reference.labels)
+        np.testing.assert_array_equal(outcomes[name].state.packed, reference.state.packed)
+        np.testing.assert_array_equal(outcomes[name].win_counts, reference.win_counts)
+
+
+def test_tcp_handshake_ships_codes_once(benchmark):
+    """Connect cost is one codes shipment; sweeps move only O(k*M) counts."""
+    ds = make_categorical_clusters(
+        n_objects=2_000, n_features=10, n_clusters=4, n_categories=5,
+        purity=0.8, random_state=3, name="handshake",
+    )
+    codes, cats = ds.codes, list(ds.n_categories)
+
+    def connect_and_sweep():
+        with local_worker_pool(2) as hosts:
+            with make_executor("tcp", codes, cats, shards=2, hosts=hosts) as executor:
+                return _run_sweeps(
+                    executor,
+                    np.zeros(codes.shape[0], dtype=np.int64),
+                    4,
+                    codes.shape[1],
+                )
+
+    outcome = benchmark.pedantic(connect_and_sweep, iterations=1, rounds=1)
+    assert outcome is not None and outcome.labels.shape[0] == codes.shape[0]
+    if not FULL_SCALE:
+        pytest.skip("smoke run: timings recorded, no thresholds asserted")

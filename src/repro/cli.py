@@ -10,13 +10,24 @@ Three families of commands:
   archive, and later load that archive to assign new objects.  This is the
   end-to-end exercise of the v2 estimator contract
   (:mod:`repro.registry` + :mod:`repro.persistence`).
-* ``repro methods`` — list every registered clusterer and its aliases.
+* ``repro worker`` — host shards for the multi-host TCP backend: a
+  long-lived server that receives its shard once per coordinator session and
+  then exchanges only count statistics (:mod:`repro.distributed.rpc`).
+* ``repro methods`` — list every registered clusterer (and executor backend)
+  and its aliases.
+
+``repro fit`` and ``repro run`` accept ``--backend`` (validated against the
+executor-backend registry) and, for ``--backend tcp``, a comma-separated
+``--workers HOST:PORT,...`` list.
 
 Examples::
 
     python -m repro run table3 --n-jobs 4
     python -m repro run table3 --methods MCDC "MCDC+F."
     python -m repro fit Vot --method mcdc --out vot.npz --seed 0
+    python -m repro fit Vot --method mcdc@sharded --backend tcp \
+        --workers host1:9001,host2:9001 --out vot.npz
+    python -m repro worker --listen 0.0.0.0:9001
     python -m repro predict vot.npz Vot --out labels.txt
     python -m repro methods
 
@@ -74,6 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict to these methods (table3); names are validated against "
         "the clusterer registry",
     )
+    _add_backend_options(run)
 
     fit = subparsers.add_parser(
         "fit", help="fit a registered clusterer and save the model archive"
@@ -89,6 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="random_state passed to the clusterer")
     fit.add_argument("--set", dest="params", nargs="+", default=(), metavar="KEY=VALUE",
                      help="extra constructor parameters, e.g. --set n_init=3 engine=dense")
+    _add_backend_options(fit)
     _add_csv_options(fit)
 
     predict = subparsers.add_parser(
@@ -100,8 +113,66 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write one predicted label per line to PATH")
     _add_csv_options(predict)
 
-    subparsers.add_parser("methods", help="list the registered clusterers")
+    worker = subparsers.add_parser(
+        "worker", help="host shards for the multi-host TCP backend"
+    )
+    worker.add_argument(
+        "--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+        help="address to listen on (port 0 picks a free port, printed at start)",
+    )
+    worker.add_argument(
+        "--once", action="store_true",
+        help="exit after serving one coordinator session (single-fit demos; "
+        "note an MCDC fit opens several sessions — leave workers persistent)",
+    )
+
+    subparsers.add_parser(
+        "methods", help="list the registered clusterers and executor backends"
+    )
     return parser
+
+
+def _add_backend_options(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--backend", default=None, metavar="NAME",
+        help="shard-executor backend for sharded methods (see 'repro methods'); "
+        "validated against the backend registry",
+    )
+    sub.add_argument(
+        "--workers", default=None, metavar="HOST:PORT,...",
+        help="comma-separated worker addresses (required with --backend tcp)",
+    )
+
+
+def _resolve_backend_args(args: argparse.Namespace):
+    """Validate --backend/--workers; returns (backend, hosts) or (None, None)."""
+    if args.workers is not None and args.backend is None:
+        raise SystemExit("--workers requires --backend tcp")
+    if args.backend is None:
+        return None, None
+    from repro.distributed.transport import available_backends, get_backend_spec
+
+    try:
+        spec = get_backend_spec(args.backend)
+    except ValueError:
+        raise SystemExit(
+            f"unknown backend {args.backend!r}; registered backends: "
+            + ", ".join(available_backends())
+        )
+    backend = spec.name
+    hosts = None
+    if args.workers is not None:
+        if "hosts" not in spec.options:
+            raise SystemExit(
+                f"backend {backend!r} does not take --workers "
+                "(only host-addressed backends such as tcp do)"
+            )
+        hosts = [token.strip() for token in args.workers.split(",") if token.strip()]
+        if not hosts:
+            raise SystemExit("--workers must list at least one HOST:PORT address")
+    if "hosts" in spec.options and hosts is None:
+        raise SystemExit(f"--backend {backend} requires --workers HOST:PORT,...")
+    return backend, hosts
 
 
 def _add_csv_options(sub: argparse.ArgumentParser) -> None:
@@ -144,6 +215,24 @@ def _resolve_config(args: argparse.Namespace):
         overrides["random_state"] = args.seed
     if args.datasets is not None:
         overrides["datasets"] = tuple(args.datasets)
+    backend, hosts = _resolve_backend_args(args)
+    if backend is not None:
+        # Only the Table III driver constructs its methods through
+        # make_paper_method, which is what consumes config.backend; accepting
+        # the flag for the other artefacts would silently run them serially.
+        if args.artefact != "table3":
+            raise SystemExit(
+                "--backend currently applies to 'run table3' only (the other "
+                "artefacts construct their methods directly and would ignore it)"
+            )
+        overrides["backend"] = backend
+        overrides["hosts"] = tuple(hosts) if hosts else ()
+        # Only the MCDC family has a sharded variant; say so once up front
+        # rather than letting a --backend tcp run look fully distributed.
+        print(
+            f"note: --backend {backend} applies to the MCDC methods "
+            "(MCDC, MCDC+G., MCDC+F.); other methods run serially"
+        )
     if overrides:
         config = dataclasses.replace(config, **overrides)
     return config
@@ -238,24 +327,22 @@ def _parse_override(item: str):
     return key.strip(), value
 
 
-def _fit(args: argparse.Namespace) -> int:
-    import numpy as np
-
-    from repro.persistence import save_model
+def _construct_cli_model(args: argparse.Namespace, params: dict, backend):
     from repro.registry import make_clusterer
 
-    dataset = _load_cli_dataset(args)
-    n_clusters = args.n_clusters or dataset.n_clusters_true or 2
-    params = dict(_parse_override(item) for item in args.params)
-    params.setdefault("n_clusters", n_clusters)
-    params.setdefault("random_state", args.seed)
     try:
-        model = make_clusterer(args.method, **params)
+        return make_clusterer(args.method, **params)
     except TypeError as exc:
         # MGCPL and friends discover k themselves and take no n_clusters —
         # but only the *defaulted* k may be dropped silently; an explicit
         # --n-clusters the method cannot honour is an error, and so is any
         # other bad parameter (e.g. a --set typo).
+        if backend is not None and ("backend" in str(exc) or "hosts" in str(exc)):
+            raise SystemExit(
+                f"method {args.method!r} does not take --backend; only the "
+                "sharded methods do (mgcpl@sharded, came@sharded, "
+                "mcdc@sharded and their @tcp variants — see 'repro methods')"
+            )
         if "n_clusters" not in str(exc):
             raise
         if args.n_clusters is not None:
@@ -264,7 +351,33 @@ def _fit(args: argparse.Namespace) -> int:
                 "(it discovers the number of clusters itself)"
             )
         params.pop("n_clusters", None)
-        model = make_clusterer(args.method, **params)
+        return make_clusterer(args.method, **params)
+
+
+def _fit(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.persistence import save_model
+
+    dataset = _load_cli_dataset(args)
+    n_clusters = args.n_clusters or dataset.n_clusters_true or 2
+    params = dict(_parse_override(item) for item in args.params)
+    params.setdefault("n_clusters", n_clusters)
+    params.setdefault("random_state", args.seed)
+    backend, hosts = _resolve_backend_args(args)
+    if backend is not None:
+        params["backend"] = backend
+        if hosts is not None:
+            params["hosts"] = hosts
+    try:
+        model = _construct_cli_model(args, params, backend)
+    except ValueError as exc:
+        # A host-addressed backend without workers (e.g. `--method mgcpl@tcp`
+        # and no --workers) fails estimator validation; surface it as a clean
+        # usage error instead of a traceback.
+        if "requires hosts" in str(exc):
+            raise SystemExit(f"{exc} (pass --workers HOST:PORT,...)")
+        raise
     model.fit(dataset)
     path = save_model(model, args.out)
 
@@ -300,11 +413,32 @@ def _predict(args: argparse.Namespace) -> int:
 
 
 def _methods(_: argparse.Namespace) -> int:
+    from repro.distributed.transport import backend_specs
     from repro.registry import registered_specs
 
     for spec in registered_specs():
         aliases = f"  (aliases: {', '.join(spec.aliases)})" if spec.aliases else ""
         print(f"{spec.name:<16} {spec.description}{aliases}")
+    print()
+    print("executor backends (--backend for sharded methods):")
+    for backend in backend_specs():
+        aliases = f"  (aliases: {', '.join(backend.aliases)})" if backend.aliases else ""
+        print(f"{backend.name:<16} {backend.description}{aliases}")
+    return 0
+
+
+def _worker(args: argparse.Namespace) -> int:
+    from repro.distributed.rpc import WorkerServer, parse_address
+
+    try:
+        host, port = parse_address(args.listen)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    server = WorkerServer(host, port, once=args.once)
+    # The resolved address (port 0 -> ephemeral) goes out first and flushed,
+    # so launchers can scrape it and build their --workers list.
+    print(f"repro worker listening on {server.address}", flush=True)
+    server.serve_forever()
     return 0
 
 
@@ -318,6 +452,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _predict(args)
     if args.command == "methods":
         return _methods(args)
+    if args.command == "worker":
+        return _worker(args)
     return 0  # pragma: no cover - argparse requires a subcommand
 
 

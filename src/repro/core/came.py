@@ -113,7 +113,8 @@ class CAME(BaseClusterer):
         # One executor serves every restart: the packed one-hot encoding of
         # Gamma is immutable, only the cluster counts are rebuilt per step.
         # The default executor holds one in-process shard (the serial path);
-        # ShardedCAME swaps in the process-pool coordinator.
+        # ShardedCAME swaps in any registered transport backend (process
+        # pools, TCP workers) through make_executor.
         executor = self._make_executor(gamma, n_categories)
         try:
             executor.begin_epoch(self.n_clusters, None)
@@ -155,7 +156,12 @@ class CAME(BaseClusterer):
 
     # ------------------------------------------------------------------ #
     def _make_executor(self, gamma: np.ndarray, n_categories) -> InProcessShardExecutor:
-        """Shard executor for the assignment/mode steps (one in-process shard)."""
+        """Shard executor for the assignment/mode steps (one in-process shard).
+
+        ``ShardedCAME`` overrides this with a registry-built transport
+        backend (``repro.distributed.transport.make_executor``); the
+        alternating loop is executor-protocol code either way.
+        """
         return InProcessShardExecutor(gamma, n_categories, engine=self.engine)
 
     def _single_run(

@@ -226,6 +226,26 @@ def _enhanced_mcdc(final_factory, n_clusters, final_n_init, random_state, params
     final = final_factory(
         n_clusters=n_clusters, n_init=final_n_init, random_state=random_state
     )
+    backend = params.pop("backend", None)
+    hosts = params.pop("hosts", None)
+    if hosts is not None and backend is None:
+        # Match the Sharded* estimators' strictness: hosts without a backend
+        # must not silently produce a serial fit.
+        raise ValueError("hosts= requires backend= (e.g. backend='tcp')")
+    if backend is not None:
+        # Sharded variant of the composite: the MGCPL encoder runs on the
+        # requested transport backend; the final (baseline) clusterer is
+        # inherently serial and stays on the coordinator.
+        from repro.distributed.runtime import ShardedMCDC  # layered import
+
+        return ShardedMCDC(
+            n_clusters=n_clusters,
+            final_clusterer=final,
+            random_state=random_state,
+            backend=backend,
+            hosts=hosts,
+            **params,
+        )
     return MCDC(
         n_clusters=n_clusters,
         final_clusterer=final,

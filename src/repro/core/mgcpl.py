@@ -31,8 +31,9 @@ Two execution engines are provided:
 The batch epoch is expressed as a bulk-synchronous LocalUpdate/GlobalStep
 loop (:mod:`repro.core.sync`): shard-local competition sweeps feed a global
 count merge and broadcast.  Serially it runs with one in-process shard; the
-distributed runtime (:mod:`repro.distributed.runtime`) drives the identical
-loop over a pool of worker processes.
+sharded wrappers construct any registered transport backend through
+:func:`repro.distributed.transport.make_executor` — worker processes or
+remote TCP hosts — and drive the identical loop over it.
 """
 
 from __future__ import annotations
@@ -325,8 +326,10 @@ class MGCPL(BaseClusterer):
         """Shard executor driving the batch epochs (one in-process shard).
 
         Subclasses (``repro.distributed.runtime.ShardedMGCPL``) override this
-        to fan the shard-local sweeps out over worker processes; the epoch
-        loop itself is backend-agnostic.
+        to construct a registered transport backend via
+        ``repro.distributed.transport.make_executor`` — worker processes,
+        remote TCP hosts, or any plugin; the epoch loop itself only speaks
+        the executor protocol and never branches on the backend.
         """
         return InProcessShardExecutor(codes, n_categories, engine=self.engine)
 

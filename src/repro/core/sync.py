@@ -20,11 +20,14 @@ of the objects:
    convergence and starvation (:class:`SweepOutcome` feeds
    :meth:`repro.core.mgcpl.MGCPL._epoch_batch`).
 
-Everything here is process-agnostic: :class:`InProcessShardExecutor` runs
+Everything here is transport-agnostic: :class:`InProcessShardExecutor` runs
 the shards serially in the calling process (the default execution path of
-MGCPL, with a single shard), while
-:class:`repro.distributed.runtime.ShardedCoordinator` drives the same
-:class:`ShardWorker` objects inside a pool of worker processes.
+MGCPL, with a single shard), and doubles as the ``"serial"`` backend of the
+executor registry (:mod:`repro.distributed.transport`), whose other backends
+drive the same :class:`ShardWorker` objects inside worker processes
+(``"process"``) or behind ``repro worker`` TCP servers on other hosts
+(``"tcp"``, :mod:`repro.distributed.rpc`).  The one :class:`ShardWorker`
+implementation serves every transport.
 """
 
 from __future__ import annotations
@@ -206,6 +209,15 @@ class ShardWorker:
         self.engine_kind = engine
         self.engine = None
         self.labels: Optional[np.ndarray] = None
+
+    def ping(self) -> int:
+        """Liveness/handshake check: the number of resident shard objects.
+
+        Transports call this right after shipping the shard so that a worker
+        that failed to initialise (bad codes, broken pool, dead socket)
+        surfaces at *connect* time instead of at the first sweep.
+        """
+        return int(self.codes.shape[0])
 
     def begin_epoch(self, n_clusters: int, labels: Optional[np.ndarray]) -> EngineState:
         """(Re)build the shard engine for a new epoch; returns the shard counts."""

@@ -9,12 +9,16 @@ The paper motivates MCDC with two distributed-computing use cases:
    categorical features such as GPU type or memory usage, Fig. 1) into
    performance-consistent groups that can be selected per task.
 
-This package provides the *real* sharded execution runtime
-(:mod:`repro.distributed.runtime`: a process-pool coordinator plus
-``ShardedMGCPL`` / ``ShardedCAME`` / ``ShardedMCDC`` wrappers), a lightweight
-simulated cluster substrate (nodes, workloads, a scheduler, pluggable
-execution backends) and the MCDC-guided partitioner with the metrics that
-quantify what the pre-partitioning preserves (locality, balance, consistency).
+This package provides the *real* sharded execution runtime — a
+transport-pluggable executor API (:mod:`repro.distributed.transport`:
+``make_executor`` over a ``"serial"`` / ``"process"`` / ``"tcp"`` backend
+registry), the multi-host TCP backend (:mod:`repro.distributed.rpc`: a
+``repro worker`` server plus a socket coordinator) and the
+``ShardedMGCPL`` / ``ShardedCAME`` / ``ShardedMCDC`` estimator wrappers
+(:mod:`repro.distributed.runtime`) — alongside a lightweight simulated
+cluster substrate (nodes, workloads, a scheduler, pluggable execution
+backends) and the MCDC-guided partitioner with the metrics that quantify
+what the pre-partitioning preserves (locality, balance, consistency).
 """
 
 from repro.distributed.node import ComputeNode, NodePool, make_node_pool
@@ -25,7 +29,15 @@ from repro.distributed.runtime import (
     ShardedMCDC,
     ShardedMCDCEncoder,
     ShardedMGCPL,
+)
+from repro.distributed.transport import (
+    ShardExecutor,
+    ShardTransport,
+    TransportError,
+    available_backends,
     default_n_shards,
+    make_executor,
+    register_backend,
     resolve_shard_indices,
 )
 from repro.distributed.scheduler import GranularityAwareScheduler, RoundRobinScheduler, Task
@@ -48,6 +60,12 @@ __all__ = [
     "ShardedCAME",
     "ShardedMCDC",
     "ShardedMCDCEncoder",
+    "ShardExecutor",
+    "ShardTransport",
+    "TransportError",
+    "available_backends",
+    "make_executor",
+    "register_backend",
     "default_n_shards",
     "resolve_shard_indices",
     "GranularityAwareScheduler",

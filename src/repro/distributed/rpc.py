@@ -1,0 +1,602 @@
+"""The ``"tcp"`` transport backend: shards on remote ``repro worker`` hosts.
+
+The LocalUpdate/GlobalStep decomposition makes the multi-host case cheap:
+per sweep only ``O(k * M)`` count statistics and the shard's labels travel,
+so a plain TCP socket per shard is plenty.  Three layers live here:
+
+* **Codec** — every message is one length-prefixed frame whose body is a
+  ``.npz`` archive: a ``__meta__`` JSON string (message kind, scalars) plus
+  the numpy arrays, written with ``allow_pickle=False`` end to end.  Arrays
+  round-trip bit-exactly, which is what keeps a loopback-TCP fit
+  *bit-identical* to the serial backend.  No third-party serializer needed.
+* **Worker** — :class:`WorkerServer` listens on ``host:port`` (the
+  ``repro worker --listen`` CLI subcommand hosts one).  Each coordinator
+  connection is served on its own thread: the handshake ships the shard's
+  codes once, a :class:`~repro.core.sync.ShardWorker` keeps them resident,
+  and subsequent frames are shard-local method calls.  One server therefore
+  hosts any number of shards (one connection each) and any number of
+  sequential fits.
+* **Coordinator** — :class:`TCPTransport` implements the
+  :class:`~repro.distributed.transport.ShardTransport` protocol over one
+  socket; ``submit`` writes the request frame immediately (the socket
+  pipelines), ``result`` reads reply frames in order.  :class:`TCPExecutor`
+  connects one transport per shard, placing shard *i* on
+  ``hosts[placement[i]]`` (round-robin by default; a
+  :meth:`~repro.distributed.scheduler.GranularityAwareScheduler.place_shards`
+  placement groups shards onto MCDC-consistent nodes).
+
+A worker that dies mid-sweep (connection reset / EOF) raises
+:class:`~repro.distributed.transport.TransportError` on the coordinator —
+never a hang.  The protocol is trusted-network plumbing: no authentication
+or encryption; run it on cluster-internal interfaces only.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import socket
+import struct
+import threading
+import traceback
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.sync import ShardUpdate, ShardWorker, SweepBroadcast
+from repro.distributed.transport import (
+    TransportError,
+    TransportExecutor,
+    close_all,
+    register_backend,
+)
+from repro.engine import EngineState
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "TCPTransport",
+    "TCPExecutor",
+    "WorkerServer",
+    "serve_worker",
+    "local_worker_pool",
+    "parse_address",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Frame header: one unsigned 64-bit big-endian body length.
+_LEN = struct.Struct(">Q")
+
+#: Sanity cap on a single frame (1 GiB) — a corrupt length prefix must not
+#: turn into an attempted multi-exabyte allocation.
+_MAX_FRAME = 1 << 30
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """Split ``"host:port"`` (the port is mandatory)."""
+    host, sep, port = address.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"worker address must be 'host:port', got {address!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ValueError(f"invalid port in worker address {address!r}") from None
+
+
+# ---------------------------------------------------------------------- #
+# Codec: length-prefixed frames of (JSON meta + npz arrays)
+# ---------------------------------------------------------------------- #
+def pack_message(kind: str, meta: Optional[Dict[str, Any]] = None, **arrays) -> bytes:
+    """Serialise one message into a frame body (npz bytes, pickle-free)."""
+    buffer = io.BytesIO()
+    payload = {"kind": kind, **(meta or {})}
+    np.savez(buffer, __meta__=np.asarray(json.dumps(payload)), **arrays)
+    return buffer.getvalue()
+
+
+def unpack_message(body: bytes) -> Tuple[str, Dict[str, Any], Dict[str, np.ndarray]]:
+    """Inverse of :func:`pack_message`: ``(kind, meta, arrays)``."""
+    with np.load(io.BytesIO(body), allow_pickle=False) as archive:
+        meta = json.loads(str(archive["__meta__"]))
+        arrays = {name: archive[name] for name in archive.files if name != "__meta__"}
+    kind = meta.pop("kind")
+    return kind, meta, arrays
+
+
+def send_frame(sock: socket.socket, body: bytes) -> None:
+    if len(body) > _MAX_FRAME:
+        # Enforced on both ends: failing here names the real problem instead
+        # of the receiver dropping the connection and the sender reporting a
+        # phantom worker death.
+        raise TransportError(
+            f"frame of {len(body)} bytes exceeds the {_MAX_FRAME} cap; "
+            "use more (smaller) shards"
+        )
+    try:
+        sock.sendall(_LEN.pack(len(body)) + body)
+    except OSError as exc:
+        raise TransportError(f"connection lost while sending: {exc}") from exc
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        try:
+            chunk = sock.recv(min(remaining, 1 << 20))
+        except OSError as exc:
+            raise TransportError(f"connection lost while receiving: {exc}") from exc
+        if not chunk:
+            raise TransportError(
+                "peer closed the connection mid-frame (worker died or was killed?)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> bytes:
+    (length,) = _LEN.unpack(_recv_exact(sock, _LEN.size))
+    if length > _MAX_FRAME:
+        raise TransportError(f"frame of {length} bytes exceeds the {_MAX_FRAME} cap")
+    return _recv_exact(sock, int(length))
+
+
+# -- EngineState / protocol dataclass (de)serialisation ------------------ #
+def _state_arrays(state: EngineState, prefix: str) -> Dict[str, np.ndarray]:
+    return {
+        f"{prefix}packed": state.packed,
+        f"{prefix}valid": state.valid_counts,
+        f"{prefix}sizes": state.sizes,
+        f"{prefix}ncat": np.asarray(state.n_categories, dtype=np.int64),
+    }
+
+
+def _state_from_arrays(arrays: Dict[str, np.ndarray], prefix: str) -> EngineState:
+    return EngineState(
+        arrays[f"{prefix}packed"],
+        arrays[f"{prefix}valid"],
+        arrays[f"{prefix}sizes"],
+        tuple(int(m) for m in arrays[f"{prefix}ncat"]),
+    )
+
+
+def encode_request(method: str, args: tuple) -> bytes:
+    """One shard-local method call as a frame body."""
+    meta: Dict[str, Any] = {"method": method}
+    arrays: Dict[str, np.ndarray] = {}
+    if method == "begin_epoch":
+        n_clusters, labels = args
+        meta["n_clusters"] = int(n_clusters)
+        meta["has_labels"] = labels is not None
+        if labels is not None:
+            arrays["labels"] = np.asarray(labels, dtype=np.int64)
+    elif method == "sweep":
+        (broadcast,) = args
+        meta["has_omega"] = broadcast.omega is not None
+        arrays.update(_state_arrays(broadcast.state, "state_"))
+        arrays["u"] = broadcast.u
+        arrays["rho"] = broadcast.rho
+        arrays["blocked"] = broadcast.blocked
+        if broadcast.omega is not None:
+            arrays["omega"] = broadcast.omega
+    elif method == "rebuild":
+        (labels,) = args
+        arrays["labels"] = np.asarray(labels, dtype=np.int64)
+    elif method == "hamming_assign":
+        modes, theta = args
+        arrays["modes"] = np.asarray(modes)
+        arrays["theta"] = np.asarray(theta)
+    elif method in ("ping", "shutdown"):
+        pass
+    else:
+        raise TransportError(f"unknown shard method {method!r}")
+    return pack_message("call", meta, **arrays)
+
+
+def decode_request(meta: Dict[str, Any], arrays: Dict[str, np.ndarray]) -> Tuple[str, tuple]:
+    method = meta["method"]
+    if method == "begin_epoch":
+        labels = arrays["labels"] if meta["has_labels"] else None
+        return method, (int(meta["n_clusters"]), labels)
+    if method == "sweep":
+        broadcast = SweepBroadcast(
+            state=_state_from_arrays(arrays, "state_"),
+            u=arrays["u"],
+            rho=arrays["rho"],
+            omega=arrays["omega"] if meta["has_omega"] else None,
+            blocked=arrays["blocked"],
+        )
+        return method, (broadcast,)
+    if method == "rebuild":
+        return method, (arrays["labels"],)
+    if method == "hamming_assign":
+        return method, (arrays["modes"], arrays["theta"])
+    if method in ("ping", "shutdown"):
+        return method, ()
+    raise TransportError(f"unknown shard method {method!r}")
+
+
+def encode_result(result: Any) -> bytes:
+    """A shard method's return value as a frame body."""
+    if isinstance(result, EngineState):
+        return pack_message("state", **_state_arrays(result, "state_"))
+    if isinstance(result, ShardUpdate):
+        return pack_message(
+            "update",
+            {"changed": bool(result.changed)},
+            labels=result.labels,
+            win_counts=result.win_counts,
+            win_gain=result.win_gain,
+            rival_pen=result.rival_pen,
+            rival_counts=result.rival_counts,
+            win_sim_total=result.win_sim_total,
+            **_state_arrays(result.state, "state_"),
+        )
+    if isinstance(result, np.ndarray):
+        return pack_message("array", array=result)
+    if isinstance(result, (int, np.integer)):
+        return pack_message("scalar", {"value": int(result)})
+    raise TransportError(f"cannot encode worker result of type {type(result).__name__}")
+
+
+def decode_result(kind: str, meta: Dict[str, Any], arrays: Dict[str, np.ndarray]) -> Any:
+    if kind == "state":
+        return _state_from_arrays(arrays, "state_")
+    if kind == "update":
+        return ShardUpdate(
+            labels=arrays["labels"],
+            changed=bool(meta["changed"]),
+            state=_state_from_arrays(arrays, "state_"),
+            win_counts=arrays["win_counts"],
+            win_gain=arrays["win_gain"],
+            rival_pen=arrays["rival_pen"],
+            rival_counts=arrays["rival_counts"],
+            win_sim_total=arrays["win_sim_total"],
+        )
+    if kind == "array":
+        return arrays["array"]
+    if kind == "scalar":
+        return int(meta["value"])
+    if kind == "error":
+        raise TransportError(
+            f"worker raised {meta.get('error', 'an exception')}: {meta.get('message', '')}"
+            + ("\n--- worker traceback ---\n" + meta["traceback"] if meta.get("traceback") else "")
+        )
+    raise TransportError(f"unknown response kind {kind!r}")
+
+
+# ---------------------------------------------------------------------- #
+# Worker side
+# ---------------------------------------------------------------------- #
+def _serve_session(conn: socket.socket) -> None:
+    """One coordinator connection: handshake, then a shard-call loop.
+
+    The coordinator ships the shard's codes exactly once (in the ``hello``
+    frame); afterwards every request is a small method payload against the
+    resident :class:`ShardWorker`.  Worker-side exceptions are reported back
+    as ``error`` frames so the coordinator can re-raise them; transport-level
+    failures end the session.
+    """
+    try:
+        kind, meta, arrays = unpack_message(recv_frame(conn))
+        if kind != "hello":
+            send_frame(conn, pack_message("error", {
+                "error": "ProtocolError", "message": f"expected hello, got {kind!r}",
+            }))
+            return
+        if meta.get("protocol") != PROTOCOL_VERSION:
+            send_frame(conn, pack_message("error", {
+                "error": "ProtocolError",
+                "message": f"protocol {meta.get('protocol')!r} != {PROTOCOL_VERSION}",
+            }))
+            return
+        worker = ShardWorker(
+            arrays["codes"],
+            [int(m) for m in arrays["ncat"]],
+            engine=str(meta.get("engine", "auto")),
+        )
+        send_frame(conn, pack_message("welcome", {
+            "protocol": PROTOCOL_VERSION, "n_objects": worker.ping(),
+        }))
+        while True:
+            try:
+                body = recv_frame(conn)
+            except TransportError:
+                return  # coordinator went away; nothing left to serve
+            kind, meta, arrays = unpack_message(body)
+            method, args = decode_request(meta, arrays)
+            if method == "shutdown":
+                send_frame(conn, pack_message("scalar", {"value": 0}))
+                return
+            try:
+                result = getattr(worker, method)(*args)
+            except Exception as exc:  # report, keep serving
+                send_frame(conn, pack_message("error", {
+                    "error": type(exc).__name__,
+                    "message": str(exc),
+                    "traceback": traceback.format_exc(),
+                }))
+                continue
+            send_frame(conn, encode_result(result))
+    except TransportError:
+        pass  # half-open teardown; the coordinator sees its own error
+    finally:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+class WorkerServer:
+    """A shard host: accepts coordinator connections and serves shard calls.
+
+    Binds immediately (so ``port=0`` resolves to a real ephemeral port before
+    :meth:`serve_forever` is entered — callers can read :attr:`address` right
+    after construction), serves each connection on a daemon thread, and stops
+    when :meth:`shutdown` closes the listening socket.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, once: bool = False) -> None:
+        self.once = bool(once)
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(16)
+        self.host, self.port = self._sock.getsockname()[:2]
+        self._closing = threading.Event()
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Accept and serve sessions until :meth:`shutdown`.
+
+        With ``once``, the server exits as soon as every session accepted so
+        far has finished (and at least one ran).  Sessions are *always*
+        served on their own threads — a coordinator placing several shards on
+        this worker opens several concurrent connections, and serving the
+        first inline would leave the rest waiting in the backlog while the
+        coordinator waits for their handshakes: a mutual hang.
+        """
+        sessions: list = []
+        if self.once:
+            # Poll the listening socket so the exit condition (all accepted
+            # sessions finished) is evaluated between accepts.
+            self._sock.settimeout(0.2)
+        try:
+            while not self._closing.is_set():
+                try:
+                    conn, _ = self._sock.accept()
+                except socket.timeout:
+                    if sessions and not any(t.is_alive() for t in sessions):
+                        break
+                    continue
+                except OSError:
+                    break  # listening socket closed by shutdown()
+                thread = threading.Thread(
+                    target=_serve_session, args=(conn,), daemon=True
+                )
+                thread.start()
+                sessions.append(thread)
+            for thread in sessions:
+                thread.join(timeout=30)
+        finally:
+            self.shutdown()
+
+    def shutdown(self) -> None:
+        """Stop accepting connections (idempotent); in-flight sessions finish."""
+        self._closing.set()
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+def serve_worker(listen: str = "127.0.0.1:0", once: bool = False) -> WorkerServer:
+    """Start a :class:`WorkerServer` on a daemon thread; returns it (bound).
+
+    The blocking equivalent — what ``repro worker --listen`` runs — is
+    ``WorkerServer(host, port).serve_forever()``.
+    """
+    host, port = parse_address(listen)
+    server = WorkerServer(host, port, once=once)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    return server
+
+
+@contextmanager
+def local_worker_pool(n_workers: int = 2, host: str = "127.0.0.1") -> Iterator[List[str]]:
+    """Spin up ``n_workers`` loopback worker servers (threads); yields addresses.
+
+    Test/demo convenience: the in-process equivalent of launching
+    ``repro worker`` on ``n_workers`` machines.
+    """
+    servers = [serve_worker(f"{host}:0") for _ in range(int(n_workers))]
+    try:
+        yield [server.address for server in servers]
+    finally:
+        for server in servers:
+            server.shutdown()
+
+
+# ---------------------------------------------------------------------- #
+# Coordinator side
+# ---------------------------------------------------------------------- #
+class TCPTransport:
+    """One shard's channel to a remote worker over a single socket.
+
+    Connecting performs the handshake: the shard's codes are shipped once in
+    the ``hello`` frame and stay resident on the worker.  ``submit`` writes
+    the request frame immediately (TCP pipelines; replies come back in
+    order), ``result`` reads the next reply frame.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        codes: np.ndarray,
+        n_categories: Sequence[int],
+        engine: str = "auto",
+        timeout: Optional[float] = None,
+        connect_timeout: float = 10.0,
+        defer_welcome: bool = False,
+    ) -> None:
+        self.address = address
+        self._pending = 0
+        self._welcomed = False
+        host, port = parse_address(address)
+        try:
+            self._sock: Optional[socket.socket] = socket.create_connection(
+                (host, port), timeout=connect_timeout
+            )
+        except OSError as exc:
+            raise TransportError(f"cannot connect to worker at {address}: {exc}") from exc
+        try:
+            self._sock.settimeout(timeout)
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._expected_objects = int(codes.shape[0])
+            send_frame(self._sock, pack_message(
+                "hello",
+                {"protocol": PROTOCOL_VERSION, "engine": engine},
+                codes=np.ascontiguousarray(codes, dtype=np.int64),
+                ncat=np.asarray(list(n_categories), dtype=np.int64),
+            ))
+            # `defer_welcome` lets a multi-shard caller ship every shard's
+            # hello first and gather the replies afterwards, so the workers'
+            # engine builds overlap instead of serialising per host.
+            if not defer_welcome:
+                self.await_welcome()
+        except BaseException:
+            self.close()
+            raise
+
+    def await_welcome(self) -> None:
+        """Block until the worker acknowledges the shipped shard (idempotent)."""
+        if self._welcomed:
+            return
+        if self._sock is None:
+            raise TransportError(f"transport to {self.address} is closed")
+        kind, meta, arrays = unpack_message(recv_frame(self._sock))
+        if kind == "error":
+            decode_result(kind, meta, arrays)  # raises TransportError
+        if kind != "welcome" or meta.get("n_objects") != self._expected_objects:
+            raise TransportError(
+                f"handshake with worker at {self.address} failed (got {kind!r})"
+            )
+        self._welcomed = True
+
+    def submit(self, method: str, args: tuple) -> None:
+        if self._sock is None:
+            raise TransportError(f"transport to {self.address} is closed")
+        try:
+            send_frame(self._sock, encode_request(method, args))
+        except TransportError as exc:
+            raise TransportError(f"worker at {self.address}: {exc}") from exc
+        self._pending += 1
+
+    def result(self) -> Any:
+        if self._sock is None:
+            raise TransportError(f"transport to {self.address} is closed")
+        if self._pending <= 0:
+            raise TransportError(f"no pending call on transport to {self.address}")
+        self._pending -= 1
+        try:
+            kind, meta, arrays = unpack_message(recv_frame(self._sock))
+        except (TransportError, socket.timeout) as exc:
+            raise TransportError(
+                f"worker at {self.address} failed mid-operation: {exc}"
+            ) from exc
+        return decode_result(kind, meta, arrays)
+
+    def close(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is None:
+            return
+        try:
+            if self._pending == 0:
+                sock.settimeout(1.0)
+                send_frame(sock, encode_request("shutdown", ()))
+                recv_frame(sock)  # worker acks, then both sides close cleanly
+        except (TransportError, OSError):
+            pass  # best-effort goodbye; the worker handles abrupt EOF too
+        finally:
+            self._pending = 0
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+
+
+@register_backend(
+    "tcp",
+    aliases=("socket", "remote"),
+    description="Shards on remote `repro worker` hosts (codes shipped once at connect)",
+    options=("hosts", "placement", "timeout"),
+)
+class TCPExecutor(TransportExecutor):
+    """Shard executor whose shards live behind ``repro worker`` TCP servers.
+
+    Parameters (beyond the registry's standard ones)
+    ----------
+    hosts:
+        ``"host:port"`` worker addresses (required).
+    placement:
+        Optional host index per shard — e.g. from
+        :meth:`GranularityAwareScheduler.place_shards`; defaults to
+        round-robin ``shard i -> hosts[i % len(hosts)]``.
+    timeout:
+        Optional per-operation socket timeout in seconds (default: block).
+
+    Construction is transactional: if any shard fails to connect or
+    handshake, every already-connected transport is closed before the error
+    propagates.
+    """
+
+    def __init__(
+        self,
+        codes: np.ndarray,
+        n_categories: Sequence[int],
+        shard_indices: Sequence[np.ndarray],
+        engine: str = "auto",
+        hosts: Optional[Sequence[str]] = None,
+        placement: Optional[Sequence[int]] = None,
+        timeout: Optional[float] = None,
+    ) -> None:
+        if not hosts:
+            raise ValueError(
+                "the tcp backend requires hosts=['host:port', ...] — start them "
+                "with `repro worker --listen HOST:PORT`"
+            )
+        hosts = [str(h) for h in hosts]
+        n_shards = len(shard_indices)
+        if placement is None:
+            placement = [i % len(hosts) for i in range(n_shards)]
+        placement = [int(p) for p in placement]
+        if len(placement) != n_shards:
+            raise ValueError(
+                f"placement names {len(placement)} shards but there are {n_shards}"
+            )
+        if placement and not all(0 <= p < len(hosts) for p in placement):
+            raise ValueError(f"placement indices must be in [0, {len(hosts)})")
+        codes = np.asarray(codes, dtype=np.int64)
+        transports: List[TCPTransport] = []
+        try:
+            # Two phases so the handshakes pipeline: ship every shard's hello
+            # first, then gather the welcomes — worker-side engine builds for
+            # shards on different hosts overlap instead of running serially.
+            for idx, host_index in zip(shard_indices, placement):
+                transports.append(TCPTransport(
+                    hosts[host_index], codes[idx], n_categories, engine,
+                    timeout=timeout, defer_welcome=True,
+                ))
+            for transport in transports:
+                transport.await_welcome()
+        except BaseException:
+            close_all(transports)
+            raise
+        super().__init__(transports, shard_indices, codes.shape[0])
+        self.hosts = hosts
+        self.placement = placement

@@ -1,101 +1,74 @@
 """Process-parallel sharded execution of MGCPL, CAME and MCDC.
 
-This module turns the LocalUpdate/GlobalStep decomposition of
-:mod:`repro.core.sync` into an actual multi-process runtime:
+This module contributes the ``"process"`` backend to the transport registry
+(:mod:`repro.distributed.transport`) and the ``Sharded*`` estimator wrappers:
 
-* :class:`ShardedCoordinator` partitions the coded data into shards
-  (contiguous blocks by default, or any per-object assignment — e.g. a
-  :class:`~repro.distributed.partitioner.PartitionPlan` from the
-  multi-granular pre-partitioner) and owns one single-process
-  :class:`concurrent.futures.ProcessPoolExecutor` per shard.  Pinning one
+* :class:`ProcessTransport` pins one single-process
+  :class:`concurrent.futures.ProcessPoolExecutor` to one shard.  Pinning one
   pool to one shard gives worker/shard affinity for free: the shard's codes
   are pickled to its worker exactly once, at pool start-up, and every
   subsequent message is only the small broadcast/update payload
   (``O(k * M)`` counts plus the shard's labels — never the data).
 * :class:`ShardedMGCPL` / :class:`ShardedCAME` / :class:`ShardedMCDC` are
-  drop-in wrappers over the serial estimators that swap the in-process
-  shard executor for the coordinator.  The epoch/iteration loops themselves
-  are *shared* with the serial implementations, so the sharded results match
-  the serial ones: exactly for the count statistics and CAME (whose
-  per-object distances do not cross shard boundaries), and to floating-point
-  tolerance for MGCPL's learning trajectory (shard-wise partial sums of the
-  competition statistics regroup float additions).
+  drop-in wrappers over the serial estimators that construct their shard
+  executor through :func:`~repro.distributed.transport.make_executor`, so any
+  registered backend — ``"serial"``, ``"process"``, ``"tcp"`` or a plugin —
+  drives the *same* epoch/iteration loops.  Sharded results match the serial
+  ones: exactly for the count statistics and CAME (whose per-object distances
+  do not cross shard boundaries), and to floating-point tolerance for MGCPL's
+  learning trajectory (shard-wise partial sums of the competition statistics
+  regroup float additions).
 
-With ``backend="serial"`` the coordinator degrades to the in-process
+With ``backend="serial"`` the estimators degrade to the in-process
 multi-shard executor — the full shard/merge protocol without processes —
 which is what the equivalence tests exercise deterministically and what
-single-core machines fall back to.
+single-core machines fall back to.  With ``backend="tcp"`` the shards live
+behind ``repro worker`` servers on other hosts (:mod:`repro.distributed.rpc`).
 """
 
 from __future__ import annotations
 
-import os
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
-from typing import List, Optional, Sequence, Union
+from concurrent.futures.process import BrokenProcessPool
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.came import CAME
 from repro.core.mcdc import MCDC, MCDCEncoder
 from repro.core.mgcpl import MGCPL
-from repro.core.sync import (
-    ShardUpdate,
-    ShardWorker,
-    SweepBroadcast,
-    SweepOutcome,
-    contiguous_shards,
-    shard_view,
-    shards_from_assignments,
+from repro.core.sync import ShardWorker
+from repro.distributed.transport import (
+    ShardExecutor,
+    ShardSpec,
+    TransportError,
+    TransportExecutor,
+    close_all,
+    default_n_shards,
+    get_backend_spec,
+    make_executor,
+    register_backend,
+    resolve_shard_indices,
 )
-from repro.distributed.partitioner import PartitionPlan
-from repro.engine import EngineState
 from repro.registry import register_clusterer
-from repro.utils.validation import check_positive_int
-
-BACKENDS = ("process", "serial")
 
 #: Hard cap on worker processes: one pool per shard, so a mistaken shard
 #: spec (e.g. an assignment vector with one object per shard) must not fork
 #: thousands of processes.
 MAX_PROCESS_SHARDS = 64
 
-ShardSpec = Union[None, int, np.ndarray, PartitionPlan, Sequence[np.ndarray]]
-
-
-def default_n_shards(requested: Optional[int] = None) -> int:
-    """A sensible shard count: the requested one, else one per available core
-    (capped at :data:`MAX_PROCESS_SHARDS` so the default stays spawnable)."""
-    if requested is not None:
-        return check_positive_int(requested, "n_shards")
-    return min(max(os.cpu_count() or 1, 1), MAX_PROCESS_SHARDS)
-
-
-def resolve_shard_indices(n: int, shards: ShardSpec) -> List[np.ndarray]:
-    """Normalise a shard specification into per-shard index arrays.
-
-    ``shards`` may be ``None`` (one contiguous shard per available core), an
-    int (contiguous split), a per-object assignment vector (a bare 1-d array
-    of length ``n`` is always read as ``object i -> shard assignments[i]``),
-    a :class:`PartitionPlan` (reuse the multi-granular pre-partitioner's
-    locality-preserving layout), or a list/tuple of explicit per-shard index
-    arrays (wrap a single index array in a list — unwrapped it would be
-    parsed as an assignment vector).
-    """
-    if shards is None:
-        return contiguous_shards(n, default_n_shards())
-    if isinstance(shards, (int, np.integer)):
-        return contiguous_shards(n, int(shards))
-    if isinstance(shards, PartitionPlan):
-        indices = shards_from_assignments(shards.assignments, shards.n_partitions)
-    elif isinstance(shards, np.ndarray) and shards.ndim == 1 and shards.shape[0] == n:
-        indices = shards_from_assignments(shards)
-    else:
-        indices = [np.asarray(idx, dtype=np.int64) for idx in shards]
-    covered = np.concatenate(indices) if indices else np.empty(0, dtype=np.int64)
-    if covered.size != n or np.unique(covered).size != n:
-        raise ValueError("shard indices must cover every object exactly once")
-    # Drop empty shards (a PartitionPlan may leave a bin empty on tiny data).
-    return [idx for idx in indices if idx.size > 0]
+__all__ = [
+    "MAX_PROCESS_SHARDS",
+    "ProcessTransport",
+    "ShardedCoordinator",
+    "ShardedMGCPL",
+    "ShardedCAME",
+    "ShardedMCDC",
+    "ShardedMCDCEncoder",
+    "default_n_shards",
+    "resolve_shard_indices",
+]
 
 
 # ---------------------------------------------------------------------- #
@@ -116,140 +89,125 @@ def _worker_call(method: str, *args):
     return getattr(_WORKER, method)(*args)
 
 
-class ShardedCoordinator:
-    """Fan shard-local steps out over per-shard worker processes and merge.
+class ProcessTransport:
+    """One shard's channel to its dedicated single-process pool.
 
-    Implements the same executor protocol as
-    :class:`repro.core.sync.InProcessShardExecutor` (``begin_epoch`` /
-    ``sweep`` / ``rebuild`` / ``hamming_assign`` / ``close``), so the serial
-    epoch loops of MGCPL and CAME drive it unchanged.
-
-    Parameters
-    ----------
-    codes:
-        ``(n, d)`` integer-coded data matrix.
-    n_categories:
-        Per-feature vocabulary sizes.
-    shards:
-        Shard specification (see :func:`resolve_shard_indices`); an int is a
-        contiguous split into that many shards — one worker process each.
-    backend:
-        ``"process"`` (default) or ``"serial"`` (in-process shards, no pools;
-        the protocol-faithful fallback for single-core machines and tests).
-    engine:
-        Frequency-engine backend built inside each worker (``"auto"``
-        resolves per shard size).
-    mp_context:
-        Optional :mod:`multiprocessing` context for the pools.
+    ``submit`` returns immediately with the future enqueued; ``result`` pops
+    futures in FIFO order, translating a broken pool (the worker process
+    died) into a :class:`TransportError`.
     """
 
     def __init__(
         self,
         codes: np.ndarray,
         n_categories: Sequence[int],
-        shards: ShardSpec = None,
-        backend: str = "process",
         engine: str = "auto",
         mp_context=None,
     ) -> None:
-        if backend not in BACKENDS:
-            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
-        codes = np.asarray(codes, dtype=np.int64)
-        self.backend = backend
-        self.n_objects = codes.shape[0]
-        self.shard_indices = resolve_shard_indices(self.n_objects, shards)
-        if backend == "process" and len(self.shard_indices) > MAX_PROCESS_SHARDS:
+        self._pool: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
+            max_workers=1,
+            mp_context=mp_context,
+            initializer=_worker_init,
+            initargs=(np.ascontiguousarray(codes), list(n_categories), engine),
+        )
+        self._futures: deque = deque()
+
+    def submit(self, method: str, args: tuple) -> None:
+        if self._pool is None:
+            raise TransportError(f"process transport is closed; cannot run {method!r}")
+        try:
+            self._futures.append(self._pool.submit(_worker_call, method, *args))
+        except (BrokenProcessPool, RuntimeError) as exc:
+            raise TransportError(f"shard worker process is gone: {exc}") from exc
+
+    def result(self):
+        try:
+            return self._futures.popleft().result()
+        except BrokenProcessPool as exc:
+            raise TransportError(
+                "shard worker process died mid-operation (BrokenProcessPool); "
+                "its shard's state is lost — re-create the executor to refit"
+            ) from exc
+
+    def close(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+        self._futures.clear()
+
+
+@register_backend(
+    "process",
+    aliases=("multiprocess", "processes"),
+    description="One worker process per shard (codes shipped once at pool start)",
+    options=("mp_context",),
+)
+class ProcessExecutor(TransportExecutor):
+    """Fan shard-local steps out over per-shard worker processes and merge.
+
+    Construction is transactional: the pools are started and health-checked
+    (a ``ping`` per worker forces the initializer to run), and if any pool
+    fails to come up — or ``_worker_init`` raises inside a worker — every
+    already-started pool is shut down before the error propagates, so a
+    failed construction leaks no processes.  ``close`` is idempotent.
+    """
+
+    def __init__(
+        self,
+        codes: np.ndarray,
+        n_categories: Sequence[int],
+        shard_indices: Sequence[np.ndarray],
+        engine: str = "auto",
+        mp_context=None,
+    ) -> None:
+        if len(shard_indices) > MAX_PROCESS_SHARDS:
             raise ValueError(
-                f"{len(self.shard_indices)} shards would spawn as many worker "
+                f"{len(shard_indices)} shards would spawn as many worker "
                 f"processes (> {MAX_PROCESS_SHARDS}); use fewer shards, or "
                 "backend='serial' for fine-grained shard layouts"
             )
-        self.engine = engine
-        n_categories = list(n_categories)
-        if backend == "serial":
-            self._workers = [
-                ShardWorker(shard_view(codes, idx), n_categories, engine=engine)
-                for idx in self.shard_indices
-            ]
-            self._pools: List[ProcessPoolExecutor] = []
-        else:
-            self._workers = []
-            self._pools = [
-                ProcessPoolExecutor(
-                    max_workers=1,
-                    mp_context=mp_context,
-                    initializer=_worker_init,
-                    initargs=(np.ascontiguousarray(codes[idx]), n_categories, engine),
+        codes = np.asarray(codes, dtype=np.int64)
+        transports: List[ProcessTransport] = []
+        try:
+            for idx in shard_indices:
+                transports.append(
+                    ProcessTransport(codes[idx], n_categories, engine, mp_context)
                 )
-                for idx in self.shard_indices
-            ]
+            # Force every initializer to run now: a worker that cannot even
+            # receive its shard must fail the constructor, not the first sweep.
+            for transport in transports:
+                transport.submit("ping", ())
+            for transport, idx in zip(transports, shard_indices):
+                if transport.result() != idx.size:
+                    raise TransportError("worker reports a different shard size")
+        except BaseException:
+            close_all(transports)
+            raise
+        super().__init__(transports, shard_indices, codes.shape[0])
 
-    @property
-    def n_shards(self) -> int:
-        return len(self.shard_indices)
 
-    # ------------------------------------------------------------------ #
-    def _map(self, method: str, per_shard_args=None, common: tuple = ()) -> list:
-        """Run one shard-local method on every shard; returns per-shard results.
+# ---------------------------------------------------------------------- #
+# Back-compat constructor
+# ---------------------------------------------------------------------- #
+def ShardedCoordinator(
+    codes: np.ndarray,
+    n_categories: Sequence[int],
+    shards: ShardSpec = None,
+    backend: str = "process",
+    engine: str = "auto",
+    mp_context=None,
+) -> ShardExecutor:
+    """Build a shard executor (kept as the PR-2 entry point's name).
 
-        Process-backed shards are all submitted before any result is awaited,
-        so the shard steps genuinely overlap.
-        """
-        if per_shard_args is None:
-            per_shard_args = [() for _ in self.shard_indices]
-        if self.backend == "serial":
-            return [
-                getattr(worker, method)(*args, *common)
-                for worker, args in zip(self._workers, per_shard_args)
-            ]
-        futures = [
-            pool.submit(_worker_call, method, *args, *common)
-            for pool, args in zip(self._pools, per_shard_args)
-        ]
-        return [future.result() for future in futures]
-
-    def _scatter(self, labels: Optional[np.ndarray]) -> list:
-        if labels is None:
-            return [(None,) for _ in self.shard_indices]
-        labels = np.asarray(labels, dtype=np.int64)
-        return [(labels[idx],) for idx in self.shard_indices]
-
-    # ------------------------------------------------------------------ #
-    # Executor protocol
-    # ------------------------------------------------------------------ #
-    def begin_epoch(self, n_clusters: int, labels: Optional[np.ndarray]) -> EngineState:
-        """Build the shard engines for ``n_clusters`` and merge the counts."""
-        args = [(n_clusters, shard_labels) for (shard_labels,) in self._scatter(labels)]
-        return EngineState.merge_all(self._map("begin_epoch", args))
-
-    def sweep(self, broadcast: SweepBroadcast) -> SweepOutcome:
-        """One global MGCPL sweep: shard-local competition + exact count merge."""
-        updates: List[ShardUpdate] = self._map("sweep", common=(broadcast,))
-        return SweepOutcome.from_updates(updates, self.shard_indices, self.n_objects)
-
-    def rebuild(self, labels: np.ndarray) -> EngineState:
-        """Load a (coordinator-repaired) assignment and merge the shard counts."""
-        return EngineState.merge_all(self._map("rebuild", self._scatter(labels)))
-
-    def hamming_assign(self, modes: np.ndarray, theta: np.ndarray) -> np.ndarray:
-        """CAME's Eq. 20 assignment, shard-local; gathered in coordinator order."""
-        shard_labels = self._map("hamming_assign", common=(modes, theta))
-        labels = np.empty(self.n_objects, dtype=np.int64)
-        for idx, part in zip(self.shard_indices, shard_labels):
-            labels[idx] = part
-        return labels
-
-    def close(self) -> None:
-        for pool in self._pools:
-            pool.shutdown(wait=True, cancel_futures=True)
-        self._pools = []
-        self._workers = []
-
-    def __enter__(self) -> "ShardedCoordinator":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
+    Thin wrapper over :func:`repro.distributed.transport.make_executor`; the
+    per-backend construction now lives behind the backend registry, so this
+    function no longer carries backend branches of its own.  New code should
+    call ``make_executor`` directly.
+    """
+    options = {} if mp_context is None else {"mp_context": mp_context}
+    return make_executor(
+        backend, codes, n_categories, shards=shards, engine=engine, **options
+    )
 
 
 # ---------------------------------------------------------------------- #
@@ -258,32 +216,54 @@ class ShardedCoordinator:
 class _ShardedMixin:
     """Shared sharding knobs of the Sharded* wrappers (validated once here)."""
 
-    def _init_sharding(self, n_shards: ShardSpec, backend: str, mp_context) -> None:
-        if backend not in BACKENDS:
-            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    def _init_sharding(
+        self,
+        n_shards: ShardSpec,
+        backend: str,
+        mp_context,
+        hosts: Optional[Sequence[str]] = None,
+    ) -> None:
+        # Validate the backend/hosts pairing now: an unknown backend, a
+        # host-addressed backend without hosts, or hosts on a backend that
+        # cannot use them must fail at construction, not mid-fit.
+        spec = get_backend_spec(backend)
+        hosts = list(hosts) if hosts is not None else None
+        if "hosts" in spec.options and not hosts:
+            raise ValueError(
+                f"backend {spec.name!r} requires hosts=['host:port', ...] — "
+                "start them with `repro worker --listen HOST:PORT`"
+            )
+        if hosts and "hosts" not in spec.options:
+            raise ValueError(f"backend {spec.name!r} does not take hosts=")
         self.n_shards = n_shards
         self.backend = backend
         self.mp_context = mp_context
+        self.hosts = hosts
 
-    def _make_coordinator(self, codes: np.ndarray, n_categories, engine: str) -> ShardedCoordinator:
-        return ShardedCoordinator(
+    def _make_coordinator(self, codes: np.ndarray, n_categories, engine: str) -> ShardExecutor:
+        options = {}
+        if self.mp_context is not None:
+            options["mp_context"] = self.mp_context
+        if self.hosts is not None:
+            options["hosts"] = list(self.hosts)
+        return make_executor(
+            self.backend,
             codes,
             n_categories,
             shards=self.n_shards,
-            backend=self.backend,
             engine=engine,
-            mp_context=self.mp_context,
+            **options,
         )
 
 
 @register_clusterer(
     "mgcpl@sharded",
     aliases=("sharded-mgcpl", "sharded_mgcpl"),
-    description="MGCPL with batch epochs sharded over worker processes",
+    description="MGCPL with batch epochs sharded over a pluggable backend",
     example_params={"n_shards": 2, "backend": "serial"},
 )
 class ShardedMGCPL(_ShardedMixin, MGCPL):
-    """MGCPL whose batch epochs run sharded over worker processes.
+    """MGCPL whose batch epochs run sharded over a pluggable transport backend.
 
     Identical learning dynamics to :class:`~repro.core.mgcpl.MGCPL` (the
     epoch loop is shared code); only the shard executor differs.  Labels and
@@ -293,14 +273,17 @@ class ShardedMGCPL(_ShardedMixin, MGCPL):
     Parameters (in addition to MGCPL's)
     ----------
     n_shards:
-        Number of shards == worker processes; ``None`` (default) uses one
-        shard per available core.  Richer shard specs — an assignment
-        vector, a :class:`PartitionPlan`, or index arrays — are accepted
-        too.
+        Number of shards; ``None`` (default) uses one shard per available
+        core (``backend="tcp"``: one per host).  Richer shard specs — an
+        assignment vector, a :class:`PartitionPlan`, or index arrays — are
+        accepted too.
     backend:
-        ``"process"`` (default) or ``"serial"``.
+        A registered executor backend: ``"process"`` (default), ``"serial"``,
+        or ``"tcp"`` (shards on remote ``repro worker`` servers).
     mp_context:
-        Optional multiprocessing context.
+        Optional multiprocessing context (``backend="process"`` only).
+    hosts:
+        ``"host:port"`` worker addresses (``backend="tcp"`` only).
     """
 
     def __init__(
@@ -308,14 +291,15 @@ class ShardedMGCPL(_ShardedMixin, MGCPL):
         n_shards: ShardSpec = None,
         backend: str = "process",
         mp_context=None,
+        hosts: Optional[Sequence[str]] = None,
         **mgcpl_params,
     ) -> None:
         if mgcpl_params.get("update_mode", "batch") != "batch":
             raise ValueError("ShardedMGCPL only supports update_mode='batch'")
         super().__init__(**mgcpl_params)
-        self._init_sharding(n_shards, backend, mp_context)
+        self._init_sharding(n_shards, backend, mp_context, hosts)
 
-    def _make_executor(self, codes: np.ndarray, n_categories: List[int]) -> ShardedCoordinator:
+    def _make_executor(self, codes: np.ndarray, n_categories: List[int]) -> ShardExecutor:
         return self._make_coordinator(codes, n_categories, self.engine)
 
 
@@ -329,9 +313,9 @@ class ShardedCAME(_ShardedMixin, CAME):
     """CAME whose assignment and count-rebuild steps run sharded.
 
     Bit-identical to the serial :class:`~repro.core.came.CAME` for the same
-    ``random_state``: per-object Hamming distances never cross shard
-    boundaries and the merged counts are exact, while the theta update,
-    empty-cluster repair and objective stay on the coordinator.
+    ``random_state`` on every backend: per-object Hamming distances never
+    cross shard boundaries and the merged counts are exact, while the theta
+    update, empty-cluster repair and objective stay on the coordinator.
     """
 
     def __init__(
@@ -340,12 +324,13 @@ class ShardedCAME(_ShardedMixin, CAME):
         n_shards: ShardSpec = None,
         backend: str = "process",
         mp_context=None,
+        hosts: Optional[Sequence[str]] = None,
         **came_params,
     ) -> None:
         super().__init__(n_clusters, **came_params)
-        self._init_sharding(n_shards, backend, mp_context)
+        self._init_sharding(n_shards, backend, mp_context, hosts)
 
-    def _make_executor(self, gamma: np.ndarray, n_categories) -> ShardedCoordinator:
+    def _make_executor(self, gamma: np.ndarray, n_categories) -> ShardExecutor:
         return self._make_coordinator(gamma, n_categories, self.engine)
 
 
@@ -357,16 +342,18 @@ class ShardedMCDCEncoder(_ShardedMixin, MCDCEncoder):
         n_shards: ShardSpec = None,
         backend: str = "process",
         mp_context=None,
+        hosts: Optional[Sequence[str]] = None,
         **encoder_params,
     ) -> None:
         super().__init__(**encoder_params)
-        self._init_sharding(n_shards, backend, mp_context)
+        self._init_sharding(n_shards, backend, mp_context, hosts)
 
     def _build_mgcpl(self) -> ShardedMGCPL:
         return ShardedMGCPL(
             n_shards=self.n_shards,
             backend=self.backend,
             mp_context=self.mp_context,
+            hosts=self.hosts,
             k0=self.k0,
             learning_rate=self.learning_rate,
             update_mode=self.update_mode,
@@ -385,7 +372,7 @@ class ShardedMCDCEncoder(_ShardedMixin, MCDCEncoder):
 class ShardedMCDC(_ShardedMixin, MCDC):
     """The full MCDC pipeline on the sharded runtime.
 
-    MGCPL epochs fan out over the worker processes; the CAME aggregation of
+    MGCPL epochs fan out over the shard workers; the CAME aggregation of
     the (small, ``(n, sigma)``) encoding runs sharded as well so the whole
     pipeline exercises one execution model.  Seeding mirrors the serial
     :class:`~repro.core.mcdc.MCDC` draw for draw, so for the same
@@ -399,16 +386,18 @@ class ShardedMCDC(_ShardedMixin, MCDC):
         n_shards: ShardSpec = None,
         backend: str = "process",
         mp_context=None,
+        hosts: Optional[Sequence[str]] = None,
         **mcdc_params,
     ) -> None:
         super().__init__(n_clusters, **mcdc_params)
-        self._init_sharding(n_shards, backend, mp_context)
+        self._init_sharding(n_shards, backend, mp_context, hosts)
 
     def _build_encoder(self, seed: int) -> ShardedMCDCEncoder:
         return ShardedMCDCEncoder(
             n_shards=self.n_shards,
             backend=self.backend,
             mp_context=self.mp_context,
+            hosts=self.hosts,
             k0=self.k0,
             learning_rate=self.learning_rate,
             update_mode=self.update_mode,
@@ -422,6 +411,7 @@ class ShardedMCDC(_ShardedMixin, MCDC):
             n_shards=self.n_shards,
             backend=self.backend,
             mp_context=self.mp_context,
+            hosts=self.hosts,
             weighted=self.weighted_aggregation,
             n_init=self.n_init,
             engine=self.engine,
@@ -429,3 +419,38 @@ class ShardedMCDC(_ShardedMixin, MCDC):
         )
 
 
+# ---------------------------------------------------------------------- #
+# Multi-host registry names: "<method>@tcp" pins backend="tcp" so remote
+# fits are one make_clusterer("mgcpl@tcp", hosts=[...]) away.
+# ---------------------------------------------------------------------- #
+@register_clusterer(
+    "mgcpl@tcp",
+    aliases=("tcp-mgcpl",),
+    description="MGCPL sharded over remote `repro worker` TCP hosts",
+    example_params={"hosts": ["127.0.0.1:0"]},
+)
+def _make_mgcpl_tcp(**params) -> ShardedMGCPL:
+    params.setdefault("backend", "tcp")
+    return ShardedMGCPL(**params)
+
+
+@register_clusterer(
+    "came@tcp",
+    aliases=("tcp-came",),
+    description="CAME sharded over remote `repro worker` TCP hosts",
+    example_params={"n_clusters": 2, "hosts": ["127.0.0.1:0"]},
+)
+def _make_came_tcp(n_clusters: int, **params) -> ShardedCAME:
+    params.setdefault("backend", "tcp")
+    return ShardedCAME(n_clusters, **params)
+
+
+@register_clusterer(
+    "mcdc@tcp",
+    aliases=("tcp-mcdc",),
+    description="The full MCDC pipeline over remote `repro worker` TCP hosts",
+    example_params={"n_clusters": 2, "hosts": ["127.0.0.1:0"]},
+)
+def _make_mcdc_tcp(n_clusters: int, **params) -> ShardedMCDC:
+    params.setdefault("backend", "tcp")
+    return ShardedMCDC(n_clusters, **params)

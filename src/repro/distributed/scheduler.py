@@ -1,9 +1,17 @@
-"""Task scheduling over clustered compute nodes (paper Sec. III-D, use case 2)."""
+"""Task scheduling over clustered compute nodes (paper Sec. III-D, use case 2).
+
+Besides the generic task/node assignment, :meth:`GranularityAwareScheduler.
+place_shards` specialises the scheduler for the sharded runtime: it treats
+each data shard as a task whose demand is the shard size and returns one
+host index per shard — exactly the ``placement`` option consumed by the TCP
+executor (:class:`repro.distributed.rpc.TCPExecutor`), so shards land on
+MCDC-grouped, performance-consistent workers instead of round-robin.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -98,3 +106,25 @@ class GranularityAwareScheduler:
             loads[chosen] += task.demand
             assignment[int(node_ids[chosen])].append(task)
         return assignment
+
+    def place_shards(self, shard_sizes: Sequence[int], pool: NodePool) -> List[int]:
+        """Map data shards onto pool nodes; returns one node *index* per shard.
+
+        Each shard becomes a :class:`Task` whose demand is its size, the pool
+        is MCDC-grouped as usual, and the heaviest shards go first to the
+        least-loaded (throughput-normalised) nodes.  The returned list is the
+        ``placement`` option of the TCP executor: shard ``i`` connects to
+        ``hosts[placement[i]]`` when ``hosts`` lists one worker per pool node
+        (in ``pool.nodes`` order).
+        """
+        tasks = [
+            Task(task_id=index, demand=float(size))
+            for index, size in enumerate(shard_sizes)
+        ]
+        assignment = self.assign(tasks, pool)
+        node_index = {node.node_id: position for position, node in enumerate(pool.nodes)}
+        placement = [0] * len(tasks)
+        for node_id, placed in assignment.items():
+            for task in placed:
+                placement[task.task_id] = node_index[node_id]
+        return placement

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -28,6 +28,12 @@ class ExperimentConfig:
     # up front, so results are identical for any value; see
     # ``repro.experiments.runner.map_trials``.
     n_jobs: int = 1
+    # Shard-executor backend for the methods that support sharding (currently
+    # MCDC): None keeps the serial estimators; "serial"/"process"/"tcp" route
+    # them through the sharded runtime (repro.distributed.transport).  With
+    # "tcp", ``hosts`` lists the `repro worker` addresses.
+    backend: Optional[str] = None
+    hosts: Tuple[str, ...] = ()
     datasets: Tuple[str, ...] = ("Car", "Con", "Che", "Mus", "Tic", "Vot", "Bal", "Nur")
     learning_rate: float = 0.03
     wilcoxon_alpha: float = 0.1

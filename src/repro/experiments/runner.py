@@ -82,6 +82,20 @@ def make_paper_method(
     params = dict(PAPER_METHOD_PARAMS[canonical])
     if params.get("learning_rate", 0.0) is None:
         params["learning_rate"] = config.learning_rate if config is not None else 0.03
+    backend = getattr(config, "backend", None) if config is not None else None
+    if backend is not None and canonical in ("mcdc", "mcdc+gudmm", "mcdc+fkmawcw"):
+        # `repro run --backend ...`: route the MCDC family through the
+        # sharded runtime (the composites shard their MGCPL encoder; the
+        # final baseline stage is inherently serial).  The learning dynamics
+        # are shared code, so scores match the serial estimators up to
+        # MGCPL's floating-point regrouping.  Methods without a sharded
+        # variant are untouched — the CLI prints a note saying so.
+        params["backend"] = backend
+        hosts = tuple(getattr(config, "hosts", ()) or ())
+        if hosts:
+            params["hosts"] = list(hosts)
+        if canonical == "mcdc":
+            canonical = "mcdc@sharded"
     return make_clusterer(canonical, n_clusters=n_clusters, random_state=seed, **params)
 
 

@@ -18,9 +18,15 @@ and every consumer constructs through the factory::
 Names are case-insensitive and ignore spaces; the paper's Table III column
 names (``"K-MODES"``, ``"MCDC+G."``) are registered as aliases of the
 canonical entries, and the sharded wrappers are registered under
-``"<name>@sharded"``.  Registration itself lives next to each class; this
-module lazily imports the implementation packages on first lookup, so
-``import repro.registry`` stays cycle-free and cheap.
+``"<name>@sharded"`` (plus ``"<name>@tcp"`` presets that pin the multi-host
+backend).  Registration itself lives next to each class; this module lazily
+imports the implementation packages on first lookup, so ``import
+repro.registry`` stays cycle-free and cheap.
+
+The *executor backend* registry behind the sharded wrappers' ``backend=``
+parameter follows the same pattern one layer down — see
+:func:`repro.distributed.transport.register_backend` /
+:func:`~repro.distributed.transport.make_executor`.
 """
 
 from __future__ import annotations

@@ -88,6 +88,107 @@ class TestCLI:
             main(["run", "table3", "--datasets", "Vot", "--methods", "DBSCAN"])
 
 
+class TestBackendCLI:
+    """--backend / --workers and the `repro worker` subcommand."""
+
+    def test_parser_accepts_worker_subcommand(self):
+        args = build_parser().parse_args(["worker", "--listen", "0.0.0.0:9001", "--once"])
+        assert args.command == "worker"
+        assert args.listen == "0.0.0.0:9001" and args.once
+
+    def test_unknown_backend_rejected_early(self, tmp_path):
+        with pytest.raises(SystemExit, match="registered backends"):
+            main(["fit", "Vot", "--method", "mcdc@sharded", "--backend", "thread",
+                  "--out", str(tmp_path / "x.npz")])
+
+    def test_tcp_backend_requires_workers(self, tmp_path):
+        with pytest.raises(SystemExit, match="--workers"):
+            main(["fit", "Vot", "--method", "mcdc@sharded", "--backend", "tcp",
+                  "--out", str(tmp_path / "x.npz")])
+
+    def test_workers_without_backend_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="--workers requires"):
+            main(["fit", "Vot", "--method", "mcdc@sharded",
+                  "--workers", "127.0.0.1:9001", "--out", str(tmp_path / "x.npz")])
+
+    def test_workers_with_hostless_backend_rejected_early(self, tmp_path):
+        # must fail at argument validation, not mid-fit with a raw traceback
+        with pytest.raises(SystemExit, match="does not take --workers"):
+            main(["fit", "Vot", "--method", "mcdc@sharded", "--backend", "serial",
+                  "--workers", "127.0.0.1:9001", "--out", str(tmp_path / "x.npz")])
+        with pytest.raises(SystemExit, match="does not take --workers"):
+            main(["run", "table3", "--datasets", "Vot", "--backend", "process",
+                  "--workers", "127.0.0.1:9001"])
+
+    def test_backend_on_non_sharded_method_explains(self, tmp_path):
+        with pytest.raises(SystemExit, match="does not take --backend"):
+            main(["fit", "Vot", "--method", "kmodes", "--backend", "serial",
+                  "--out", str(tmp_path / "x.npz")])
+
+    def test_tcp_pinned_method_without_workers_is_a_usage_error(self, tmp_path):
+        # mgcpl@tcp pins the backend without going through --backend, so the
+        # missing-workers case must still surface cleanly, not as a traceback.
+        with pytest.raises(SystemExit, match="--workers"):
+            main(["fit", "Vot", "--method", "mgcpl@tcp",
+                  "--out", str(tmp_path / "x.npz")])
+
+    def test_fit_with_serial_backend(self, tmp_path, capsys):
+        model_path = tmp_path / "sharded.npz"
+        assert main(["fit", "Vot", "--method", "mgcpl@sharded",
+                     "--backend", "serial", "--set", "n_shards=2",
+                     "--out", str(model_path)]) == 0
+        assert model_path.exists()
+        assert "fitted ShardedMGCPL" in capsys.readouterr().out
+
+    def test_fit_over_loopback_tcp_workers(self, tmp_path, capsys):
+        from repro.distributed.rpc import local_worker_pool
+
+        model_path = tmp_path / "tcp.npz"
+        with local_worker_pool(2) as hosts:
+            assert main(["fit", "Vot", "--method", "mgcpl@sharded",
+                         "--backend", "tcp", "--workers", ",".join(hosts),
+                         "--out", str(model_path)]) == 0
+        capsys.readouterr()
+        assert main(["predict", str(model_path), "Vot"]) == 0
+        assert "assigned" in capsys.readouterr().out
+
+    def test_run_with_backend_routes_mcdc_through_sharded_runtime(self, capsys):
+        assert main(["run", "table3", "--datasets", "Vot", "--methods", "MCDC",
+                     "--n-restarts", "1", "--backend", "serial"]) == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out and "MCDC" in out
+
+    def test_run_backend_rejected_for_artefacts_that_ignore_it(self):
+        # only table3 constructs methods through make_paper_method; accepting
+        # --backend elsewhere would silently run serial
+        with pytest.raises(SystemExit, match="table3"):
+            main(["run", "fig5", "--datasets", "Vot", "--backend", "serial"])
+
+    def test_composite_with_hosts_but_no_backend_rejected(self):
+        from repro.registry import make_clusterer
+
+        with pytest.raises(ValueError, match="requires backend"):
+            make_clusterer("mcdc+gudmm", n_clusters=2, hosts=["127.0.0.1:9001"])
+
+    def test_make_paper_method_honours_config_backend(self):
+        from repro.distributed.runtime import ShardedMCDC
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import make_paper_method
+
+        config = ExperimentConfig(backend="serial")
+        model = make_paper_method("MCDC", n_clusters=3, seed=0, config=config)
+        assert isinstance(model, ShardedMCDC)
+        assert model.backend == "serial"
+        # the composites shard their MGCPL encoder too
+        composite = make_paper_method("MCDC+G.", n_clusters=3, seed=0, config=config)
+        assert isinstance(composite, ShardedMCDC)
+        assert composite.backend == "serial"
+        assert type(composite.final_clusterer).__name__ == "GUDMM"
+        # methods without a sharded variant are untouched
+        kmodes = make_paper_method("K-MODES", n_clusters=3, seed=0, config=config)
+        assert type(kmodes).__name__ == "KModes"
+
+
 class TestServingCLI:
     """repro fit / repro predict exercise the persistence path end to end."""
 
@@ -95,6 +196,9 @@ class TestServingCLI:
         assert main(["methods"]) == 0
         out = capsys.readouterr().out
         assert "mcdc" in out and "kmodes" in out and "mcdc@sharded" in out
+        # the executor backends are listed too
+        assert "executor backends" in out
+        assert "serial" in out and "process" in out and "tcp" in out
 
     def test_fit_then_predict_uci(self, tmp_path, capsys):
         model_path = tmp_path / "vot.npz"

@@ -14,6 +14,7 @@ import pytest
 from repro.core import CAME, MCDC, MGCPL, BaseClusterer, coerce_codes, codes_in_vocabulary
 from repro.core.assignment import AssignmentModel
 from repro.data.generators import make_categorical_clusters
+from repro.distributed.rpc import local_worker_pool
 from repro.distributed.runtime import ShardedMGCPL
 from repro.engine import EngineState, make_engine, state_from_labels
 from repro.persistence import load_model, save_model
@@ -41,14 +42,26 @@ def _assert_params_equal(a, b):
             assert value == b[key]
 
 
-def _contract_params(spec):
+def _contract_params(spec, request=None):
     params = dict(spec.example_params)
     if "n_clusters" in params:
         params["n_clusters"] = 3
     params.update(FIT_OVERRIDES.get(spec.name, {}))
     if spec.cls is None or "random_state" in spec.cls._get_param_names():
         params.setdefault("random_state", 0)
+    if "hosts" in params and request is not None:
+        # The @tcp entries carry placeholder addresses in example_params;
+        # swap in the module's live loopback workers so their fits are real
+        # multi-host sessions.
+        params["hosts"] = list(request.getfixturevalue("tcp_hosts"))
     return params
+
+
+@pytest.fixture(scope="module")
+def tcp_hosts():
+    """Two loopback `repro worker` servers backing the @tcp registry entries."""
+    with local_worker_pool(2) as hosts:
+        yield hosts
 
 
 @pytest.fixture(scope="module")
@@ -72,8 +85,8 @@ ALL_SPECS = registered_specs()
 
 @pytest.mark.parametrize("spec", ALL_SPECS, ids=[s.name for s in ALL_SPECS])
 class TestContractOverRegistry:
-    def test_fit_save_load_predict(self, spec, train_dataset, heldout_codes, tmp_path):
-        model = make_clusterer(spec.name, **_contract_params(spec))
+    def test_fit_save_load_predict(self, spec, train_dataset, heldout_codes, tmp_path, request):
+        model = make_clusterer(spec.name, **_contract_params(spec, request))
         model.fit(train_dataset)
 
         # predict on the training data reproduces the fitted partition
@@ -96,8 +109,8 @@ class TestContractOverRegistry:
             loaded.predict(train_dataset), model.predict(train_dataset)
         )
 
-    def test_clone_is_unfitted_and_independent(self, spec, train_dataset):
-        model = make_clusterer(spec.name, **_contract_params(spec))
+    def test_clone_is_unfitted_and_independent(self, spec, train_dataset, request):
+        model = make_clusterer(spec.name, **_contract_params(spec, request))
         clone = model.clone()
         assert clone is not model
         _assert_params_equal(clone.get_params(), model.get_params())

@@ -1,0 +1,382 @@
+"""The transport-pluggable executor API and the multi-host TCP backend.
+
+The contract under test (ISSUE 4): ``make_executor`` is the single,
+registry-driven construction path for shard-executor backends; a
+loopback-TCP fit is **bit-identical** (EngineState counts and labels) to the
+serial backend on the UCI analogue sets; and every failure mode — refused
+connections, workers dying mid-sweep, partial construction — surfaces as a
+clear :class:`TransportError` instead of a hang or a leak.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.sync import InProcessShardExecutor
+from repro.data.uci.registry import load_dataset
+from repro.distributed import (
+    GranularityAwareScheduler,
+    ShardedCAME,
+    ShardedMGCPL,
+    TransportError,
+    available_backends,
+    default_n_shards,
+    make_executor,
+    make_node_pool,
+)
+from repro.distributed import rpc
+from repro.distributed import runtime
+from repro.distributed.transport import (
+    ShardExecutor,
+    get_backend_spec,
+    resolve_backend,
+)
+from repro.engine import make_engine
+
+
+@pytest.fixture(scope="module")
+def tcp_hosts():
+    with rpc.local_worker_pool(2) as hosts:
+        yield hosts
+
+
+# ---------------------------------------------------------------------- #
+# The backend registry
+# ---------------------------------------------------------------------- #
+class TestBackendRegistry:
+    def test_shipped_backends_are_registered(self):
+        names = available_backends()
+        assert {"serial", "process", "tcp"} <= set(names)
+
+    def test_aliases_resolve(self):
+        assert resolve_backend("in-process") == "serial"
+        assert resolve_backend("TCP") == "tcp"
+        assert resolve_backend(" Remote ") == "tcp"
+
+    def test_unknown_backend_lists_available(self):
+        with pytest.raises(ValueError, match="available"):
+            resolve_backend("thread")
+
+    def test_unknown_option_names_the_backend(self, small_clusters):
+        with pytest.raises(ValueError, match="serial.*does not accept.*hosts"):
+            make_executor(
+                "serial", small_clusters.codes, small_clusters.n_categories,
+                shards=2, hosts=["127.0.0.1:1"],
+            )
+
+    def test_serial_backend_is_the_reference_executor(self, small_clusters):
+        executor = make_executor(
+            "serial", small_clusters.codes, small_clusters.n_categories, shards=3
+        )
+        assert isinstance(executor, InProcessShardExecutor)
+        assert isinstance(executor, ShardExecutor)  # virtual subclass
+        assert executor.n_shards == 3
+        executor.close()
+
+    def test_spec_metadata(self):
+        spec = get_backend_spec("tcp")
+        assert spec.description
+        assert "hosts" in spec.options
+
+    def test_tcp_requires_hosts(self, small_clusters):
+        with pytest.raises(ValueError, match="repro worker"):
+            make_executor(
+                "tcp", small_clusters.codes, small_clusters.n_categories, shards=2
+            )
+
+
+class TestDefaultShards:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_N_SHARDS", "3")
+        assert default_n_shards() == 3
+        assert default_n_shards(5) == 5  # explicit request wins
+
+    def test_bad_env_value_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_N_SHARDS", "many")
+        with pytest.raises(ValueError, match="REPRO_N_SHARDS"):
+            default_n_shards()
+        monkeypatch.setenv("REPRO_N_SHARDS", "0")
+        with pytest.raises(ValueError):
+            default_n_shards()
+
+    def test_env_absent_falls_back_to_cores(self, monkeypatch):
+        monkeypatch.delenv("REPRO_N_SHARDS", raising=False)
+        assert default_n_shards() >= 1
+
+
+# ---------------------------------------------------------------------- #
+# Loopback-TCP equivalence: bit-identical to the serial backend
+# ---------------------------------------------------------------------- #
+class TestTCPEquivalence:
+    @pytest.mark.parametrize("dataset_name", ["Vot", "Bal"])
+    def test_mgcpl_fit_bit_identical_to_serial(self, dataset_name, tcp_hosts):
+        dataset = load_dataset(dataset_name)
+        serial = ShardedMGCPL(n_shards=4, backend="serial", random_state=7).fit(dataset)
+        over_tcp = ShardedMGCPL(
+            n_shards=4, backend="tcp", hosts=tcp_hosts, random_state=7
+        ).fit(dataset)
+
+        np.testing.assert_array_equal(over_tcp.labels_, serial.labels_)
+        assert over_tcp.kappa_ == serial.kappa_
+        state_serial = serial.assignment_model_.state
+        state_tcp = over_tcp.assignment_model_.state
+        np.testing.assert_array_equal(state_tcp.packed, state_serial.packed)
+        np.testing.assert_array_equal(state_tcp.valid_counts, state_serial.valid_counts)
+        np.testing.assert_array_equal(state_tcp.sizes, state_serial.sizes)
+
+    def test_came_fit_bit_identical_to_serial(self, small_clusters, tcp_hosts):
+        gamma = ShardedMGCPL(n_shards=2, backend="serial", random_state=3).fit(
+            small_clusters
+        ).encoding_
+        serial = ShardedCAME(n_clusters=3, n_shards=4, backend="serial", random_state=5)
+        over_tcp = ShardedCAME(
+            n_clusters=3, n_shards=4, backend="tcp", hosts=tcp_hosts, random_state=5
+        )
+        serial.fit(gamma)
+        over_tcp.fit(gamma)
+        np.testing.assert_array_equal(over_tcp.labels_, serial.labels_)
+        assert over_tcp.objective_ == serial.objective_
+        np.testing.assert_array_equal(over_tcp.modes_, serial.modes_)
+
+    def test_executor_level_counts_merge_exactly(self, small_clusters, tcp_hosts):
+        codes, cats = small_clusters.codes, list(small_clusters.n_categories)
+        rng = np.random.default_rng(2)
+        labels = rng.integers(0, 5, size=codes.shape[0]).astype(np.int64)
+        with make_executor("tcp", codes, cats, shards=3, hosts=tcp_hosts) as executor:
+            executor.begin_epoch(5, labels)
+            merged = executor.rebuild(labels)
+        full = make_engine(codes, cats, 5, labels=labels).snapshot()
+        np.testing.assert_array_equal(merged.packed, full.packed)
+        np.testing.assert_array_equal(merged.sizes, full.sizes)
+
+    def test_default_shards_follow_hosts(self, small_clusters, tcp_hosts):
+        with make_executor(
+            "tcp", small_clusters.codes, small_clusters.n_categories, hosts=tcp_hosts
+        ) as executor:
+            assert executor.n_shards == len(tcp_hosts)
+
+    def test_registry_name_pins_tcp_backend(self, tcp_hosts):
+        from repro.registry import make_clusterer
+
+        model = make_clusterer("mgcpl@tcp", hosts=tcp_hosts, random_state=0)
+        assert isinstance(model, ShardedMGCPL)
+        assert model.backend == "tcp"
+        assert model.get_params()["hosts"] == list(tcp_hosts)
+
+    def test_once_worker_serves_several_shards_without_deadlock(self, small_clusters):
+        """Multiple shards on one --once worker: concurrent sessions, no hang."""
+        server = rpc.serve_worker("127.0.0.1:0", once=True)
+        model = ShardedMGCPL(
+            n_shards=3, backend="tcp", hosts=[server.address], random_state=7
+        ).fit(small_clusters)
+        reference = ShardedMGCPL(n_shards=3, backend="serial", random_state=7).fit(
+            small_clusters
+        )
+        np.testing.assert_array_equal(model.labels_, reference.labels_)
+
+    def test_backend_host_pairing_validated_at_construction(self, tcp_hosts):
+        with pytest.raises(ValueError, match="requires hosts"):
+            ShardedMGCPL(backend="tcp")
+        with pytest.raises(ValueError, match="does not take hosts"):
+            ShardedMGCPL(backend="serial", hosts=list(tcp_hosts))
+
+
+# ---------------------------------------------------------------------- #
+# Placement
+# ---------------------------------------------------------------------- #
+class TestPlacement:
+    def test_scheduler_places_every_shard_on_a_node(self):
+        pool = make_node_pool(n_nodes=6, n_profiles=3, random_state=0)
+        scheduler = GranularityAwareScheduler(n_groups=3, random_state=0)
+        sizes = [400, 300, 200, 100]
+        placement = scheduler.place_shards(sizes, pool)
+        assert len(placement) == len(sizes)
+        assert all(0 <= p < len(pool) for p in placement)
+        # deterministic for a fixed seed
+        assert placement == scheduler.place_shards(sizes, pool)
+
+    def test_tcp_executor_honours_placement(self, small_clusters, tcp_hosts):
+        with make_executor(
+            "tcp", small_clusters.codes, small_clusters.n_categories,
+            shards=2, hosts=tcp_hosts, placement=[1, 1],
+        ) as executor:
+            assert executor.placement == [1, 1]
+            state = executor.begin_epoch(2, None)
+            assert state.n_clusters == 2
+
+    def test_bad_placement_rejected(self, small_clusters, tcp_hosts):
+        with pytest.raises(ValueError, match="placement"):
+            make_executor(
+                "tcp", small_clusters.codes, small_clusters.n_categories,
+                shards=2, hosts=tcp_hosts, placement=[0],
+            )
+        with pytest.raises(ValueError, match="placement"):
+            make_executor(
+                "tcp", small_clusters.codes, small_clusters.n_categories,
+                shards=2, hosts=tcp_hosts, placement=[0, 7],
+            )
+
+
+# ---------------------------------------------------------------------- #
+# Failure paths: TransportError, never a hang or a leak
+# ---------------------------------------------------------------------- #
+class TestFailurePaths:
+    def test_connection_refused_is_a_transport_error(self, small_clusters):
+        with pytest.raises(TransportError, match="cannot connect"):
+            make_executor(
+                "tcp", small_clusters.codes, small_clusters.n_categories,
+                shards=1, hosts=["127.0.0.1:1"],
+            )
+
+    def test_partial_tcp_connect_failure_cleans_up(self, small_clusters, tcp_hosts):
+        # Shard 0 connects to a live worker, shard 1 to a dead port: the
+        # construction must fail *and* close the live connection; the worker
+        # stays healthy for the next session.
+        with pytest.raises(TransportError):
+            make_executor(
+                "tcp", small_clusters.codes, small_clusters.n_categories,
+                shards=2, hosts=[tcp_hosts[0], "127.0.0.1:1"],
+            )
+        with make_executor(
+            "tcp", small_clusters.codes, small_clusters.n_categories,
+            shards=1, hosts=[tcp_hosts[0]],
+        ) as executor:
+            assert int(executor.begin_epoch(2, None).sizes.sum()) == 0
+
+    def test_worker_dying_mid_sweep_raises_not_hangs(self, small_clusters):
+        """A worker that completes the handshake and then dies -> TransportError."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        address = "127.0.0.1:%d" % listener.getsockname()[1]
+
+        def half_worker():
+            conn, _ = listener.accept()
+            _, _, arrays = rpc.unpack_message(rpc.recv_frame(conn))
+            rpc.send_frame(conn, rpc.pack_message("welcome", {
+                "protocol": rpc.PROTOCOL_VERSION,
+                "n_objects": int(arrays["codes"].shape[0]),
+            }))
+            conn.close()  # "dies" right after the handshake
+
+        thread = threading.Thread(target=half_worker, daemon=True)
+        thread.start()
+        try:
+            executor = make_executor(
+                "tcp", small_clusters.codes, small_clusters.n_categories,
+                shards=1, hosts=[address],
+            )
+            with pytest.raises(TransportError, match="failed mid-operation|connection"):
+                executor.begin_epoch(3, None)
+            executor.close()  # idempotent even after the failure
+            executor.close()
+        finally:
+            thread.join(timeout=5)
+            listener.close()
+
+    def test_remote_exception_reports_worker_traceback(self, small_clusters, tcp_hosts):
+        transport = rpc.TCPTransport(
+            tcp_hosts[0], small_clusters.codes[:10], list(small_clusters.n_categories)
+        )
+        try:
+            # rebuild before begin_epoch: the shard engine does not exist yet,
+            # so the worker raises and must report it back — and keep serving.
+            transport.submit("rebuild", (np.zeros(10, dtype=np.int64),))
+            with pytest.raises(TransportError, match="worker raised"):
+                transport.result()
+            transport.submit("ping", ())
+            assert transport.result() == 10
+        finally:
+            transport.close()
+
+    def test_closed_executor_refuses_new_work(self, small_clusters, tcp_hosts):
+        executor = make_executor(
+            "tcp", small_clusters.codes, small_clusters.n_categories,
+            shards=2, hosts=tcp_hosts,
+        )
+        executor.close()
+        executor.close()  # idempotent
+        with pytest.raises(TransportError, match="closed"):
+            executor.begin_epoch(2, None)
+
+    def test_process_pool_partial_construction_cleans_up(self, monkeypatch, tiny_clusters):
+        """If a later shard's pool fails to start, earlier pools are shut down."""
+        created, closed = [], []
+        real = runtime.ProcessTransport
+        original_close = real.close
+
+        class Flaky(real):
+            def __init__(self, *args, **kwargs):
+                if created:
+                    raise OSError("no more processes")
+                super().__init__(*args, **kwargs)
+                created.append(self)
+
+        def tracking_close(self):
+            closed.append(self)
+            original_close(self)
+
+        monkeypatch.setattr(real, "close", tracking_close)
+        monkeypatch.setattr(runtime, "ProcessTransport", Flaky)
+        with pytest.raises(OSError, match="no more processes"):
+            make_executor(
+                "process", tiny_clusters.codes, tiny_clusters.n_categories, shards=2
+            )
+        assert len(created) == 1
+        assert created[0] in closed
+
+    def test_process_shard_cap_enforced_before_spawning(self, small_clusters):
+        indices = [np.array([i]) for i in range(small_clusters.n_objects)]
+        with pytest.raises(ValueError, match="worker"):
+            make_executor(
+                "process", small_clusters.codes, small_clusters.n_categories,
+                shards=indices,
+            )
+
+
+# ---------------------------------------------------------------------- #
+# Codec round trips
+# ---------------------------------------------------------------------- #
+class TestCodec:
+    def test_request_round_trip_sweep(self, small_clusters):
+        from repro.core.sync import SweepBroadcast
+
+        codes, cats = small_clusters.codes, list(small_clusters.n_categories)
+        state = make_engine(codes, cats, 4).snapshot()
+        broadcast = SweepBroadcast(
+            state=state,
+            u=np.linspace(0, 1, 4),
+            rho=np.zeros(4),
+            omega=np.full((len(cats), 4), 0.25),
+            blocked=np.array([False, True, False, False]),
+        )
+        body = rpc.encode_request("sweep", (broadcast,))
+        kind, meta, arrays = rpc.unpack_message(body)
+        method, (decoded,) = rpc.decode_request(meta, arrays)
+        assert method == "sweep"
+        np.testing.assert_array_equal(decoded.u, broadcast.u)
+        np.testing.assert_array_equal(decoded.blocked, broadcast.blocked)
+        np.testing.assert_array_equal(decoded.omega, broadcast.omega)
+        np.testing.assert_array_equal(decoded.state.packed, state.packed)
+        assert decoded.state.n_categories == state.n_categories
+
+    def test_result_round_trip_state_and_labels(self, small_clusters):
+        codes, cats = small_clusters.codes, list(small_clusters.n_categories)
+        state = make_engine(codes, cats, 3).snapshot()
+        kind, meta, arrays = rpc.unpack_message(rpc.encode_result(state))
+        decoded = rpc.decode_result(kind, meta, arrays)
+        np.testing.assert_array_equal(decoded.packed, state.packed)
+
+        labels = np.arange(7, dtype=np.int64)
+        kind, meta, arrays = rpc.unpack_message(rpc.encode_result(labels))
+        np.testing.assert_array_equal(rpc.decode_result(kind, meta, arrays), labels)
+
+    def test_bad_address_rejected(self):
+        with pytest.raises(ValueError, match="host:port"):
+            rpc.parse_address("localhost")
+        with pytest.raises(ValueError, match="port"):
+            rpc.parse_address("localhost:http")
