@@ -1,0 +1,79 @@
+"""Repo-wide pytest configuration: the hard per-test timeout.
+
+The suite exercises real sockets and thread pools (the transport and serving
+tiers), where a regression's failure mode is a *hang*, not an assertion.
+Every test therefore runs under a hard timeout: the ``timeout`` ini option in
+``pyproject.toml`` (enforced by ``pytest-timeout``, which CI installs) plus a
+minimal in-repo SIGALRM fallback below for environments without the plugin —
+so a deadlock fails fast everywhere instead of stalling a run.
+
+This lives at the repo root (not ``tests/conftest.py``) so both test paths —
+``tests/`` and ``benchmarks/`` — get the option registration and the
+enforcement.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+
+import pytest
+
+try:
+    import pytest_timeout  # noqa: F401
+
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+
+if not _HAVE_PYTEST_TIMEOUT:
+    # Fallback implementation of the subset of pytest-timeout this repo uses:
+    # the `timeout` ini option / --timeout flag and the @pytest.mark.timeout
+    # marker, enforced with SIGALRM (main thread, POSIX — i.e. everywhere the
+    # socket suites run).  When the real plugin is installed it takes over and
+    # this block is inert.
+    def pytest_addoption(parser):
+        parser.addini("timeout", "per-test timeout in seconds (0 disables)", default="0")
+        parser.addoption(
+            "--timeout", type=float, default=None,
+            help="per-test timeout in seconds (overrides the ini value)",
+        )
+
+    def pytest_configure(config):
+        config.addinivalue_line(
+            "markers", "timeout(seconds): fail the test if it runs longer than this"
+        )
+
+    def _timeout_seconds(item) -> float:
+        marker = item.get_closest_marker("timeout")
+        if marker is not None and marker.args:
+            return float(marker.args[0])
+        option = item.config.getoption("--timeout")
+        if option is not None:
+            return float(option)
+        return float(item.config.getini("timeout") or 0)
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_call(item):
+        seconds = _timeout_seconds(item)
+        armed = (
+            seconds > 0
+            and hasattr(signal, "SIGALRM")
+            and threading.current_thread() is threading.main_thread()
+        )
+        if armed:
+            def _on_alarm(signum, frame):
+                raise TimeoutError(
+                    f"test exceeded the {seconds:g}s timeout "
+                    "(in-repo pytest-timeout fallback)"
+                )
+
+            previous = signal.signal(signal.SIGALRM, _on_alarm)
+            signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            yield
+        finally:
+            if armed:
+                signal.setitimer(signal.ITIMER_REAL, 0)
+                signal.signal(signal.SIGALRM, previous)

@@ -21,6 +21,10 @@ Public API highlights
 * :mod:`repro.data` — data set container, generators and the UCI benchmarks.
 * :mod:`repro.metrics` — ACC, ARI, AMI, FM validity indices.
 * :mod:`repro.distributed` — sharded runtime and MCDC-guided pre-partitioning.
+* :mod:`repro.serving` — the long-lived serving tier: ``ModelServer`` loads
+  a model archive once and answers ``predict``/``ingest`` over TCP with
+  atomic snapshots back to disk; ``ServingClient`` is the connection handle
+  (``repro serve`` / ``repro predict --server`` on the CLI).
 * :mod:`repro.experiments` — reproduction of every table and figure.
 
 Quick start::
@@ -32,6 +36,14 @@ Quick start::
     ...
     server = load_model("model.npz")
     labels = server.predict(new_batch)
+
+Or served long-lived over the network::
+
+    from repro.serving import ServingClient, serve_model
+
+    server = serve_model("model.npz", listen="0.0.0.0:9100", snapshot_every=100)
+    with ServingClient(server.address) as client:
+        labels = client.predict(new_batch)   # bit-identical to in-process
 """
 
 from repro.core import CAME, MCDC, MCDCEncoder, MGCPL
@@ -39,7 +51,7 @@ from repro.data import CategoricalDataset
 from repro.persistence import load_model, save_model
 from repro.registry import available_clusterers, make_clusterer
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "MCDC",

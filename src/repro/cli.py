@@ -10,6 +10,10 @@ Three families of commands:
   archive, and later load that archive to assign new objects.  This is the
   end-to-end exercise of the v2 estimator contract
   (:mod:`repro.registry` + :mod:`repro.persistence`).
+* ``repro serve`` — the long-lived serving tier (:mod:`repro.serving`): load
+  a model archive once and answer ``predict``/``ingest`` requests over TCP,
+  with periodic and ingest-count-triggered atomic snapshots back to disk.
+  ``repro predict --server HOST:PORT`` is the matching client path.
 * ``repro worker`` — host shards for the multi-host TCP backend: a
   long-lived server that receives its shard once per coordinator session and
   then exchanges only count statistics (:mod:`repro.distributed.rpc`).
@@ -18,17 +22,22 @@ Three families of commands:
 
 ``repro fit`` and ``repro run`` accept ``--backend`` (validated against the
 executor-backend registry) and, for ``--backend tcp``, a comma-separated
-``--workers HOST:PORT,...`` list.
+``--workers HOST:PORT,...`` list.  ``run --backend`` applies to the
+artefacts that construct MCDC through the registry: ``table3``, ``fig4``
+and ``fig6``.
 
 Examples::
 
     python -m repro run table3 --n-jobs 4
     python -m repro run table3 --methods MCDC "MCDC+F."
+    python -m repro run fig6 --backend process
     python -m repro fit Vot --method mcdc --out vot.npz --seed 0
     python -m repro fit Vot --method mcdc@sharded --backend tcp \
         --workers host1:9001,host2:9001 --out vot.npz
     python -m repro worker --listen 0.0.0.0:9001
     python -m repro predict vot.npz Vot --out labels.txt
+    python -m repro serve vot.npz --listen 0.0.0.0:9100 --snapshot-every 100
+    python -m repro predict --server host1:9100 Vot --out labels.txt
     python -m repro methods
 
 Installed as the ``repro-mcdc`` console script (see ``pyproject.toml``).
@@ -105,13 +114,46 @@ def build_parser() -> argparse.ArgumentParser:
     _add_csv_options(fit)
 
     predict = subparsers.add_parser(
-        "predict", help="load a saved model and assign objects to its clusters"
+        "predict", help="load a saved model (or ask a running server) and "
+        "assign objects to its clusters"
     )
-    predict.add_argument("model", help="path to a model archive written by 'repro fit'")
+    predict.add_argument(
+        "model", nargs="?", default=None,
+        help="path to a model archive written by 'repro fit' (omit with --server)",
+    )
     predict.add_argument("data", help="UCI data set name or a CSV/.data file path")
+    predict.add_argument(
+        "--server", default=None, metavar="HOST:PORT",
+        help="ask a running 'repro serve' server instead of loading an archive",
+    )
     predict.add_argument("--out", default=None, metavar="PATH",
                          help="write one predicted label per line to PATH")
     _add_csv_options(predict)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve a fitted model archive over TCP (predict/ingest)"
+    )
+    serve.add_argument("model", help="path to a model archive written by 'repro fit'")
+    serve.add_argument(
+        "--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+        help="address to listen on (port 0 picks a free port, printed at start)",
+    )
+    serve.add_argument(
+        "--snapshot-every", type=int, default=0, metavar="N",
+        help="snapshot the model back to disk after every N ingest batches",
+    )
+    serve.add_argument(
+        "--snapshot-interval", type=float, default=None, metavar="SECONDS",
+        help="also snapshot every SECONDS while new ingests are unsaved",
+    )
+    serve.add_argument(
+        "--snapshot-path", default=None, metavar="PATH",
+        help="where snapshots land (default: overwrite the model archive)",
+    )
+    serve.add_argument(
+        "--once", action="store_true",
+        help="exit once every accepted client session has finished",
+    )
 
     worker = subparsers.add_parser(
         "worker", help="host shards for the multi-host TCP backend"
@@ -217,13 +259,15 @@ def _resolve_config(args: argparse.Namespace):
         overrides["datasets"] = tuple(args.datasets)
     backend, hosts = _resolve_backend_args(args)
     if backend is not None:
-        # Only the Table III driver constructs its methods through
-        # make_paper_method, which is what consumes config.backend; accepting
-        # the flag for the other artefacts would silently run them serially.
-        if args.artefact != "table3":
+        # These artefacts route method construction through
+        # route_through_backend (repro.experiments.runner), which is what
+        # consumes config.backend; accepting the flag for the others would
+        # silently run them serially.
+        if args.artefact not in ("table3", "fig4", "fig6"):
             raise SystemExit(
-                "--backend currently applies to 'run table3' only (the other "
-                "artefacts construct their methods directly and would ignore it)"
+                "--backend applies to 'run table3', 'run fig4' and 'run fig6' "
+                "(the other artefacts construct no MCDC methods and would "
+                "ignore it)"
             )
         overrides["backend"] = backend
         overrides["hosts"] = tuple(hosts) if hosts else ()
@@ -231,7 +275,8 @@ def _resolve_config(args: argparse.Namespace):
         # rather than letting a --backend tcp run look fully distributed.
         print(
             f"note: --backend {backend} applies to the MCDC methods "
-            "(MCDC, MCDC+G., MCDC+F.); other methods run serially"
+            "(MCDC, and for table3 MCDC+G./MCDC+F.); other methods — "
+            "including the fig4 ablations — run serially"
         )
     if overrides:
         config = dataclasses.replace(config, **overrides)
@@ -391,15 +436,31 @@ def _fit(args: argparse.Namespace) -> int:
 def _predict(args: argparse.Namespace) -> int:
     import numpy as np
 
-    from repro.persistence import load_model
+    if args.server is not None and args.model is not None:
+        raise SystemExit(
+            "--server replaces the MODEL argument (the server already holds "
+            "the model); pass one or the other"
+        )
+    if args.server is None and args.model is None:
+        raise SystemExit("predict needs a MODEL archive path or --server HOST:PORT")
 
-    model = load_model(args.model)
     dataset = _load_cli_dataset(args)
-    labels = model.predict(dataset)
+    if args.server is not None:
+        from repro.serving import ServingClient
 
-    counts = np.bincount(labels, minlength=model.n_clusters_ or 1)
+        with ServingClient(args.server) as client:
+            labels = client.predict(dataset)
+            n_clusters = int(client.server_info["n_clusters"])
+    else:
+        from repro.persistence import load_model
+
+        model = load_model(args.model)
+        labels = model.predict(dataset)
+        n_clusters = model.n_clusters_
+
+    counts = np.bincount(labels, minlength=n_clusters or 1)
     print(f"assigned {labels.shape[0]} objects to {int((counts > 0).sum())} of "
-          f"{model.n_clusters_} clusters (sizes: {', '.join(map(str, counts))})")
+          f"{n_clusters} clusters (sizes: {', '.join(map(str, counts))})")
     if dataset.labels is not None:
         from repro.metrics import evaluate_clustering
 
@@ -427,6 +488,39 @@ def _methods(_: argparse.Namespace) -> int:
     return 0
 
 
+def _serve(args: argparse.Namespace) -> int:
+    from repro.distributed.codec import parse_address
+    from repro.serving import ModelServer
+
+    try:
+        host, port = parse_address(args.listen)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if not Path(args.model).exists():
+        raise SystemExit(f"model archive {args.model!r} does not exist "
+                         "(write one with 'repro fit ... --out PATH')")
+    try:
+        server = ModelServer(
+            args.model, host, port,
+            snapshot_path=args.snapshot_path,
+            snapshot_every=args.snapshot_every,
+            snapshot_interval=args.snapshot_interval,
+            once=args.once,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    info = server.info()
+    print(f"serving {info['clusterer']} (k={info['n_clusters']}, "
+          f"n={info['n_objects']}) from {args.model}")
+    if server.snapshot_path is not None and (args.snapshot_every or args.snapshot_interval):
+        print(f"snapshots -> {server.snapshot_path}")
+    # The resolved address (port 0 -> ephemeral) goes out last and flushed,
+    # so launchers can scrape it and point their clients at it.
+    print(f"repro serve listening on {server.address}", flush=True)
+    server.serve_forever()
+    return 0
+
+
 def _worker(args: argparse.Namespace) -> int:
     from repro.distributed.rpc import WorkerServer, parse_address
 
@@ -450,6 +544,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _fit(args)
     if args.command == "predict":
         return _predict(args)
+    if args.command == "serve":
+        return _serve(args)
     if args.command == "methods":
         return _methods(args)
     if args.command == "worker":

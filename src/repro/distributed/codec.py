@@ -1,0 +1,294 @@
+"""Shared wire codec and threaded frame server for every repro network tier.
+
+PR 4 introduced a pickle-free wire format for the multi-host TCP backend:
+every message is one length-prefixed frame whose body is an ``.npz`` archive —
+a ``__meta__`` JSON string (message kind, scalars) plus the numpy arrays,
+written with ``allow_pickle=False`` end to end so arrays round-trip
+bit-exactly.  The serving tier (:mod:`repro.serving`) speaks the same frames,
+so the codec now lives here, shared by both servers:
+
+* :func:`pack_message` / :func:`unpack_message` — frame body <-> ``(kind,
+  meta, arrays)``.  A body that is not a well-formed archive (truncated zip,
+  malformed JSON, missing ``__meta__``/``kind``) raises
+  :class:`~repro.distributed.transport.TransportError`, never a raw
+  ``zipfile``/``json`` exception — adversarial input must fail cleanly on
+  both ends of the socket.
+* :func:`send_frame` / :func:`recv_frame` — the length-prefixed framing with
+  a :data:`MAX_FRAME` cap enforced on *both* send and receive, so a corrupt
+  length prefix can never turn into a multi-exabyte allocation and an
+  oversized send fails at the sender with the real diagnosis.
+  :func:`recv_frame_interruptible` is the drain-aware variant used by
+  long-lived servers: it polls for the frame's first byte so an idle session
+  can notice a shutdown request instead of blocking in ``recv`` forever.
+* :class:`ThreadedFrameServer` — the accept-loop skeleton shared by the shard
+  worker (:class:`repro.distributed.rpc.WorkerServer`) and the model server
+  (:class:`repro.serving.ModelServer`): bind immediately (so ``port=0``
+  resolves before ``serve_forever``), one daemon thread per session, ``once``
+  semantics (exit when every accepted session finished), idempotent
+  ``shutdown``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import socket
+import struct
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.distributed.transport import TransportError
+
+__all__ = [
+    "MAX_FRAME",
+    "pack_message",
+    "unpack_message",
+    "send_frame",
+    "recv_frame",
+    "recv_frame_interruptible",
+    "parse_address",
+    "ThreadedFrameServer",
+]
+
+#: Frame header: one unsigned 64-bit big-endian body length.
+_LEN = struct.Struct(">Q")
+
+#: Sanity cap on a single frame (1 GiB) — a corrupt length prefix must not
+#: turn into an attempted multi-exabyte allocation.
+MAX_FRAME = 1 << 30
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """Split ``"host:port"`` (the port is mandatory)."""
+    host, sep, port = address.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"worker address must be 'host:port', got {address!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ValueError(f"invalid port in worker address {address!r}") from None
+
+
+# ---------------------------------------------------------------------- #
+# Codec: frames of (JSON meta + npz arrays)
+# ---------------------------------------------------------------------- #
+def pack_message(kind: str, meta: Optional[Dict[str, Any]] = None, **arrays) -> bytes:
+    """Serialise one message into a frame body (npz bytes, pickle-free)."""
+    buffer = io.BytesIO()
+    payload = {"kind": kind, **(meta or {})}
+    np.savez(buffer, __meta__=np.asarray(json.dumps(payload)), **arrays)
+    return buffer.getvalue()
+
+
+def unpack_message(body: bytes) -> Tuple[str, Dict[str, Any], Dict[str, np.ndarray]]:
+    """Inverse of :func:`pack_message`: ``(kind, meta, arrays)``.
+
+    Malformed bodies — truncated archives, garbage bytes, bad JSON, a missing
+    ``__meta__`` entry or ``kind`` key — raise :class:`TransportError` so a
+    fuzzed or corrupted frame fails identically on every consumer instead of
+    leaking ``zipfile``/``json``/``KeyError`` internals.
+    """
+    try:
+        with np.load(io.BytesIO(body), allow_pickle=False) as archive:
+            meta = json.loads(str(archive["__meta__"]))
+            arrays = {name: archive[name] for name in archive.files if name != "__meta__"}
+        kind = meta.pop("kind")
+        if not isinstance(meta, dict) or not isinstance(kind, str):
+            raise TypeError("frame meta must be a JSON object with a string 'kind'")
+    except TransportError:
+        raise
+    except Exception as exc:
+        raise TransportError(f"malformed frame: {exc}") from exc
+    return kind, meta, arrays
+
+
+def send_frame(sock: socket.socket, body: bytes) -> None:
+    if len(body) > MAX_FRAME:
+        # Enforced on both ends: failing here names the real problem instead
+        # of the receiver dropping the connection and the sender reporting a
+        # phantom worker death.
+        raise TransportError(
+            f"frame of {len(body)} bytes exceeds the {MAX_FRAME} cap; "
+            "use more (smaller) shards"
+        )
+    try:
+        sock.sendall(_LEN.pack(len(body)) + body)
+    except OSError as exc:
+        raise TransportError(f"connection lost while sending: {exc}") from exc
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        try:
+            chunk = sock.recv(min(remaining, 1 << 20))
+        except OSError as exc:
+            raise TransportError(f"connection lost while receiving: {exc}") from exc
+        if not chunk:
+            raise TransportError(
+                "peer closed the connection mid-frame (worker died or was killed?)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _checked_length(header: bytes) -> int:
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        raise TransportError(f"frame of {length} bytes exceeds the {MAX_FRAME} cap")
+    return int(length)
+
+
+def recv_frame(sock: socket.socket) -> bytes:
+    return _recv_exact(sock, _checked_length(_recv_exact(sock, _LEN.size)))
+
+
+def _recv_exact_interruptible(
+    sock: socket.socket, n: int, stop_requested: Callable[[], bool]
+) -> Optional[bytes]:
+    """``_recv_exact`` over a poll-timeout socket; ``None`` once stop is requested."""
+    chunks = []
+    remaining = n
+    while remaining:
+        if stop_requested():
+            return None
+        try:
+            chunk = sock.recv(min(remaining, 1 << 20))
+        except socket.timeout:
+            continue
+        except OSError as exc:
+            raise TransportError(f"connection lost while receiving: {exc}") from exc
+        if not chunk:
+            raise TransportError("peer closed the connection")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame_interruptible(
+    sock: socket.socket,
+    stop_requested: Callable[[], bool],
+    poll_interval: float = 0.2,
+) -> Optional[bytes]:
+    """Like :func:`recv_frame`, but returns ``None`` once shutdown is requested.
+
+    A long-lived session blocks here between requests; a plain ``recv`` would
+    keep a draining server waiting on every idle client.  This variant reads
+    with a poll timeout and checks ``stop_requested()`` between polls — while
+    idle *and* mid-frame, so a stalled peer (one header byte, then silence)
+    can never park the session thread past a drain.  A request abandoned
+    mid-frame at shutdown was never fully received, so nothing acknowledged
+    is lost.  The socket's timeout is restored on exit.
+    """
+    previous_timeout = sock.gettimeout()
+    try:
+        sock.settimeout(poll_interval)
+        header = _recv_exact_interruptible(sock, _LEN.size, stop_requested)
+        if header is None:
+            return None
+        return _recv_exact_interruptible(sock, _checked_length(header), stop_requested)
+    finally:
+        try:
+            sock.settimeout(previous_timeout)
+        except OSError:  # pragma: no cover - socket already torn down
+            pass
+
+
+# ---------------------------------------------------------------------- #
+# The threaded accept-loop skeleton
+# ---------------------------------------------------------------------- #
+class ThreadedFrameServer:
+    """Accept-loop base class shared by the shard worker and the model server.
+
+    Binds immediately (so ``port=0`` resolves to a real ephemeral port before
+    :meth:`serve_forever` is entered — callers can read :attr:`address` right
+    after construction), serves each connection on a daemon thread via the
+    :meth:`handle_session` hook, and stops when :meth:`shutdown` closes the
+    listening socket.
+
+    With ``once``, the server exits as soon as every session accepted so far
+    has finished (and at least one ran).  Sessions are *always* served on
+    their own threads — a client opening several concurrent connections (a
+    coordinator placing several shards on one worker, a fleet of serving
+    clients) would otherwise deadlock against an inline handler.
+    """
+
+    #: How long :meth:`serve_forever` waits for each session thread on exit.
+    session_join_timeout = 30.0
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, once: bool = False) -> None:
+        self.once = bool(once)
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(16)
+        self.host, self.port = self._sock.getsockname()[:2]
+        self._closing = threading.Event()
+        self._sessions: List[threading.Thread] = []
+        self._accepted = 0
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------ #
+    def handle_session(self, conn: socket.socket) -> None:  # pragma: no cover
+        """Serve one accepted connection (runs on its own daemon thread)."""
+        raise NotImplementedError
+
+    def _run_session(self, conn: socket.socket) -> None:
+        try:
+            self.handle_session(conn)
+        finally:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    # ------------------------------------------------------------------ #
+    def serve_forever(self) -> None:
+        """Accept and serve sessions until :meth:`shutdown` (or ``once`` exit)."""
+        # Poll the listening socket rather than blocking in accept(): closing
+        # a socket does not reliably wake another thread's blocked accept()
+        # (shutdown would stall), and with ``once`` the exit condition (all
+        # accepted sessions finished) must be evaluated between accepts.
+        self._sock.settimeout(0.2)
+        try:
+            while not self._closing.is_set():
+                try:
+                    conn, _ = self._sock.accept()
+                except socket.timeout:
+                    # Drop finished session threads so a long-lived server
+                    # does not retain one Thread per connection ever served.
+                    self._sessions = [t for t in self._sessions if t.is_alive()]
+                    if self.once and self._accepted and not self._sessions:
+                        break
+                    continue
+                except OSError:
+                    break  # listening socket closed by shutdown()
+                thread = threading.Thread(
+                    target=self._run_session, args=(conn,), daemon=True
+                )
+                thread.start()
+                self._sessions.append(thread)
+                self._accepted += 1
+            for thread in self._sessions:
+                thread.join(timeout=self.session_join_timeout)
+        finally:
+            self.shutdown()
+            self._on_drained()
+
+    def _on_drained(self) -> None:
+        """Hook run after every session has been joined (subclass cleanup)."""
+
+    def shutdown(self) -> None:
+        """Stop accepting connections (idempotent); in-flight sessions finish."""
+        self._closing.set()
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass

@@ -2,13 +2,11 @@
 
 The LocalUpdate/GlobalStep decomposition makes the multi-host case cheap:
 per sweep only ``O(k * M)`` count statistics and the shard's labels travel,
-so a plain TCP socket per shard is plenty.  Three layers live here:
+so a plain TCP socket per shard is plenty.  Two layers live here (the wire
+codec itself — length-prefixed JSON+npz frames, ``allow_pickle=False`` end to
+end, arrays round-tripping bit-exactly — is shared with the serving tier and
+lives in :mod:`repro.distributed.codec`):
 
-* **Codec** — every message is one length-prefixed frame whose body is a
-  ``.npz`` archive: a ``__meta__`` JSON string (message kind, scalars) plus
-  the numpy arrays, written with ``allow_pickle=False`` end to end.  Arrays
-  round-trip bit-exactly, which is what keeps a loopback-TCP fit
-  *bit-identical* to the serial backend.  No third-party serializer needed.
 * **Worker** — :class:`WorkerServer` listens on ``host:port`` (the
   ``repro worker --listen`` CLI subcommand hosts one).  Each coordinator
   connection is served on its own thread: the handshake ships the shard's
@@ -27,16 +25,15 @@ so a plain TCP socket per shard is plenty.  Three layers live here:
 
 A worker that dies mid-sweep (connection reset / EOF) raises
 :class:`~repro.distributed.transport.TransportError` on the coordinator —
-never a hang.  The protocol is trusted-network plumbing: no authentication
-or encryption; run it on cluster-internal interfaces only.
+never a hang — and a malformed frame (fuzzed bytes, truncated archive, a
+corrupt length prefix) ends the session cleanly on the worker.  The protocol
+is trusted-network plumbing: no authentication or encryption; run it on
+cluster-internal interfaces only.
 """
 
 from __future__ import annotations
 
-import io
-import json
 import socket
-import struct
 import threading
 import traceback
 from contextlib import contextmanager
@@ -45,6 +42,15 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.sync import ShardUpdate, ShardWorker, SweepBroadcast
+from repro.distributed.codec import (
+    MAX_FRAME,
+    ThreadedFrameServer,
+    pack_message,
+    parse_address,
+    recv_frame,
+    send_frame,
+    unpack_message,
+)
 from repro.distributed.transport import (
     TransportError,
     TransportExecutor,
@@ -61,86 +67,16 @@ __all__ = [
     "serve_worker",
     "local_worker_pool",
     "parse_address",
+    "pack_message",
+    "unpack_message",
+    "send_frame",
+    "recv_frame",
 ]
 
 PROTOCOL_VERSION = 1
 
-#: Frame header: one unsigned 64-bit big-endian body length.
-_LEN = struct.Struct(">Q")
-
-#: Sanity cap on a single frame (1 GiB) — a corrupt length prefix must not
-#: turn into an attempted multi-exabyte allocation.
-_MAX_FRAME = 1 << 30
-
-
-def parse_address(address: str) -> Tuple[str, int]:
-    """Split ``"host:port"`` (the port is mandatory)."""
-    host, sep, port = address.rpartition(":")
-    if not sep or not host:
-        raise ValueError(f"worker address must be 'host:port', got {address!r}")
-    try:
-        return host, int(port)
-    except ValueError:
-        raise ValueError(f"invalid port in worker address {address!r}") from None
-
-
-# ---------------------------------------------------------------------- #
-# Codec: length-prefixed frames of (JSON meta + npz arrays)
-# ---------------------------------------------------------------------- #
-def pack_message(kind: str, meta: Optional[Dict[str, Any]] = None, **arrays) -> bytes:
-    """Serialise one message into a frame body (npz bytes, pickle-free)."""
-    buffer = io.BytesIO()
-    payload = {"kind": kind, **(meta or {})}
-    np.savez(buffer, __meta__=np.asarray(json.dumps(payload)), **arrays)
-    return buffer.getvalue()
-
-
-def unpack_message(body: bytes) -> Tuple[str, Dict[str, Any], Dict[str, np.ndarray]]:
-    """Inverse of :func:`pack_message`: ``(kind, meta, arrays)``."""
-    with np.load(io.BytesIO(body), allow_pickle=False) as archive:
-        meta = json.loads(str(archive["__meta__"]))
-        arrays = {name: archive[name] for name in archive.files if name != "__meta__"}
-    kind = meta.pop("kind")
-    return kind, meta, arrays
-
-
-def send_frame(sock: socket.socket, body: bytes) -> None:
-    if len(body) > _MAX_FRAME:
-        # Enforced on both ends: failing here names the real problem instead
-        # of the receiver dropping the connection and the sender reporting a
-        # phantom worker death.
-        raise TransportError(
-            f"frame of {len(body)} bytes exceeds the {_MAX_FRAME} cap; "
-            "use more (smaller) shards"
-        )
-    try:
-        sock.sendall(_LEN.pack(len(body)) + body)
-    except OSError as exc:
-        raise TransportError(f"connection lost while sending: {exc}") from exc
-
-
-def _recv_exact(sock: socket.socket, n: int) -> bytes:
-    chunks = []
-    remaining = n
-    while remaining:
-        try:
-            chunk = sock.recv(min(remaining, 1 << 20))
-        except OSError as exc:
-            raise TransportError(f"connection lost while receiving: {exc}") from exc
-        if not chunk:
-            raise TransportError(
-                "peer closed the connection mid-frame (worker died or was killed?)"
-            )
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
-
-
-def recv_frame(sock: socket.socket) -> bytes:
-    (length,) = _LEN.unpack(_recv_exact(sock, _LEN.size))
-    if length > _MAX_FRAME:
-        raise TransportError(f"frame of {length} bytes exceeds the {_MAX_FRAME} cap")
-    return _recv_exact(sock, int(length))
+#: Backwards-compatible alias; the cap itself lives in the shared codec.
+_MAX_FRAME = MAX_FRAME
 
 
 # -- EngineState / protocol dataclass (de)serialisation ------------------ #
@@ -305,8 +241,9 @@ def _serve_session(conn: socket.socket) -> None:
                 body = recv_frame(conn)
             except TransportError:
                 return  # coordinator went away; nothing left to serve
-            kind, meta, arrays = unpack_message(body)
-            method, args = decode_request(meta, arrays)
+            # A frame that does not decode leaves the stream in an unknown
+            # state: end the session (cleanly) rather than guess at framing.
+            method, args = decode_request(*unpack_message(body)[1:])
             if method == "shutdown":
                 send_frame(conn, pack_message("scalar", {"value": 0}))
                 return
@@ -321,7 +258,9 @@ def _serve_session(conn: socket.socket) -> None:
                 continue
             send_frame(conn, encode_result(result))
     except TransportError:
-        pass  # half-open teardown; the coordinator sees its own error
+        pass  # half-open teardown / malformed frame; the peer sees its own error
+    except Exception:
+        pass  # adversarial handshake payload (e.g. hello without codes)
     finally:
         try:
             conn.close()
@@ -329,70 +268,17 @@ def _serve_session(conn: socket.socket) -> None:
             pass
 
 
-class WorkerServer:
+class WorkerServer(ThreadedFrameServer):
     """A shard host: accepts coordinator connections and serves shard calls.
 
-    Binds immediately (so ``port=0`` resolves to a real ephemeral port before
-    :meth:`serve_forever` is entered — callers can read :attr:`address` right
-    after construction), serves each connection on a daemon thread, and stops
-    when :meth:`shutdown` closes the listening socket.
+    The accept-loop mechanics (immediate bind so ``port=0`` resolves before
+    :meth:`serve_forever`, one daemon thread per session, ``once`` semantics,
+    idempotent :meth:`shutdown`) live in :class:`ThreadedFrameServer`; this
+    subclass contributes the shard-session protocol.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0, once: bool = False) -> None:
-        self.once = bool(once)
-        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        self._sock.bind((host, port))
-        self._sock.listen(16)
-        self.host, self.port = self._sock.getsockname()[:2]
-        self._closing = threading.Event()
-
-    @property
-    def address(self) -> str:
-        return f"{self.host}:{self.port}"
-
-    def serve_forever(self) -> None:
-        """Accept and serve sessions until :meth:`shutdown`.
-
-        With ``once``, the server exits as soon as every session accepted so
-        far has finished (and at least one ran).  Sessions are *always*
-        served on their own threads — a coordinator placing several shards on
-        this worker opens several concurrent connections, and serving the
-        first inline would leave the rest waiting in the backlog while the
-        coordinator waits for their handshakes: a mutual hang.
-        """
-        sessions: list = []
-        if self.once:
-            # Poll the listening socket so the exit condition (all accepted
-            # sessions finished) is evaluated between accepts.
-            self._sock.settimeout(0.2)
-        try:
-            while not self._closing.is_set():
-                try:
-                    conn, _ = self._sock.accept()
-                except socket.timeout:
-                    if sessions and not any(t.is_alive() for t in sessions):
-                        break
-                    continue
-                except OSError:
-                    break  # listening socket closed by shutdown()
-                thread = threading.Thread(
-                    target=_serve_session, args=(conn,), daemon=True
-                )
-                thread.start()
-                sessions.append(thread)
-            for thread in sessions:
-                thread.join(timeout=30)
-        finally:
-            self.shutdown()
-
-    def shutdown(self) -> None:
-        """Stop accepting connections (idempotent); in-flight sessions finish."""
-        self._closing.set()
-        try:
-            self._sock.close()
-        except OSError:  # pragma: no cover
-            pass
+    def handle_session(self, conn: socket.socket) -> None:
+        _serve_session(conn)
 
 
 def serve_worker(listen: str = "127.0.0.1:0", once: bool = False) -> WorkerServer:

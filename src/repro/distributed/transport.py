@@ -44,7 +44,7 @@ from __future__ import annotations
 import os
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -58,6 +58,7 @@ from repro.core.sync import (
 )
 from repro.distributed.partitioner import PartitionPlan
 from repro.engine import EngineState
+from repro.utils.registry import NamedRegistry
 from repro.utils.validation import check_positive_int
 
 try:  # Protocol is typing-only; keep 3.9 compatibility explicit.
@@ -319,13 +320,15 @@ class BackendSpec:
     options: Tuple[str, ...] = ()
 
 
-_BACKENDS: Dict[str, BackendSpec] = {}
-_BACKEND_ALIASES: Dict[str, str] = {}
-_backends_populated = False
+def _populate_backends() -> None:
+    """Import the modules whose definitions carry the registration decorators."""
+    import repro.distributed.rpc  # noqa: F401  (registers "tcp")
+    import repro.distributed.runtime  # noqa: F401  (registers "process")
 
 
-def _normalize(name: str) -> str:
-    return name.strip().lower().replace(" ", "")
+_BACKENDS = NamedRegistry("executor backend", populate=_populate_backends)
+
+_normalize = NamedRegistry.normalize
 
 
 def register_backend(
@@ -346,63 +349,30 @@ def register_backend(
             aliases=tuple(_normalize(a) for a in aliases),
             options=tuple(options),
         )
-        existing = _BACKENDS.get(spec.name)
-        if existing is not None and existing.factory is not obj:
-            raise ValueError(f"backend name {spec.name!r} is already registered")
-        _BACKENDS[spec.name] = spec
-        for alias in spec.aliases:
-            claimed = _BACKEND_ALIASES.get(alias)
-            if claimed is not None and claimed != spec.name:
-                raise ValueError(f"backend alias {alias!r} already points at {claimed!r}")
-            _BACKEND_ALIASES[alias] = spec.name
+        _BACKENDS.register(spec.name, spec, factory=obj, aliases=spec.aliases)
         return obj
 
     return wrap
 
 
-def _ensure_backends() -> None:
-    """Import the modules whose definitions carry the registration decorators."""
-    global _backends_populated
-    if _backends_populated:
-        return
-    _backends_populated = True  # set first: the imports below re-enter via decorators
-    try:
-        import repro.distributed.rpc  # noqa: F401  (registers "tcp")
-        import repro.distributed.runtime  # noqa: F401  (registers "process")
-    except BaseException:
-        # Roll back so the next lookup retries and surfaces the real failure.
-        _backends_populated = False
-        raise
-
-
 def resolve_backend(name: str) -> str:
     """Canonical registry name for ``name`` (exact, alias, or error)."""
-    _ensure_backends()
-    key = _normalize(name)
-    if key in _BACKENDS:
-        return key
-    if key in _BACKEND_ALIASES:
-        return _BACKEND_ALIASES[key]
-    raise ValueError(
-        f"Unknown executor backend {name!r}; available: {', '.join(available_backends())}"
-    )
+    return _BACKENDS.resolve(name)
 
 
 def get_backend_spec(name: str) -> BackendSpec:
     """The :class:`BackendSpec` registered under ``name`` (or an alias)."""
-    return _BACKENDS[resolve_backend(name)]
+    return _BACKENDS.get(name)
 
 
 def available_backends() -> List[str]:
     """Sorted canonical names of every registered executor backend."""
-    _ensure_backends()
-    return sorted(_BACKENDS)
+    return _BACKENDS.names()
 
 
 def backend_specs() -> List[BackendSpec]:
     """All backend registry entries, sorted by canonical name."""
-    _ensure_backends()
-    return [_BACKENDS[name] for name in sorted(_BACKENDS)]
+    return _BACKENDS.specs()
 
 
 def make_executor(

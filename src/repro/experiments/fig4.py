@@ -11,7 +11,7 @@ from functools import partial
 from repro.data.uci.registry import get_spec
 from repro.experiments.config import ExperimentConfig, active_config
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import map_trials
+from repro.experiments.runner import map_trials, route_through_backend
 from repro.metrics import adjusted_rand_index
 from repro.registry import make_clusterer
 from repro.utils.rng import ensure_rng
@@ -20,10 +20,22 @@ from repro.utils.rng import ensure_rng
 ABLATION_ORDER = ("MCDC", "MCDC4", "MCDC3", "MCDC2", "MCDC1")
 
 
-def _ablation_trial(seed: int, version: str, dataset, n_clusters: int) -> float:
-    """One restart of one ablated version; failures score zero (paper convention)."""
+def _ablation_trial(
+    seed: int,
+    version: str,
+    dataset,
+    n_clusters: int,
+    config: Optional[ExperimentConfig] = None,
+) -> float:
+    """One restart of one ablated version; failures score zero (paper convention).
+
+    A ``config.backend`` routes the full MCDC through the sharded runtime
+    (``mcdc@sharded``); the ablated versions have no sharded variant and run
+    serially either way.
+    """
     try:
-        method = make_clusterer(version, n_clusters=n_clusters, random_state=seed)
+        name, extra = route_through_backend(version, config)
+        method = make_clusterer(name, n_clusters=n_clusters, random_state=seed, **extra)
         labels = method.fit_predict(dataset)
         return adjusted_rand_index(dataset.labels, labels)
     except Exception:
@@ -57,7 +69,10 @@ def run_fig4(
         for version in ABLATION_ORDER:
             seeds = [int(rng.integers(0, 2**31 - 1)) for _ in range(config.n_restarts)]
             scores = map_trials(
-                partial(_ablation_trial, version=version, dataset=dataset, n_clusters=k),
+                partial(
+                    _ablation_trial, version=version, dataset=dataset,
+                    n_clusters=k, config=config,
+                ),
                 seeds,
                 n_jobs=n_jobs,
             )

@@ -9,7 +9,7 @@ from typing import Dict, List, Optional
 from repro.data.generators import make_categorical_clusters
 from repro.experiments.config import ExperimentConfig, active_config
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import map_trials
+from repro.experiments.runner import map_trials, route_through_backend
 from repro.registry import make_clusterer
 
 #: Methods timed in the scalability sweeps.  The paper plots several
@@ -20,16 +20,27 @@ from repro.registry import make_clusterer
 TIMED_METHODS = ("MCDC", "K-MODES")
 
 
-def _time_method(name: str, dataset, n_clusters: int, seed: int) -> float:
+def _time_method(
+    name: str,
+    dataset,
+    n_clusters: int,
+    seed: int,
+    config: Optional[ExperimentConfig] = None,
+) -> float:
     if name not in TIMED_METHODS:
         raise ValueError(f"Unknown timed method {name!r}")
-    method = make_clusterer(name, n_clusters=n_clusters, n_init=2, random_state=seed)
+    registry_name, extra = route_through_backend(name, config)
+    method = make_clusterer(
+        registry_name, n_clusters=n_clusters, n_init=2, random_state=seed, **extra
+    )
     start = time.perf_counter()
     method.fit(dataset)
     return time.perf_counter() - start
 
 
-def _fig6_point(point, seed: int, base_n: int) -> Dict[str, float]:
+def _fig6_point(
+    point, seed: int, base_n: int, config: Optional[ExperimentConfig] = None
+) -> Dict[str, float]:
     """Time every method at one ``(series, x)`` sweep point (the unit of parallelism)."""
     kind, x = point
     if kind == "vs_n":
@@ -49,7 +60,7 @@ def _fig6_point(point, seed: int, base_n: int) -> Dict[str, float]:
         n_clusters = 3
     row: Dict[str, float] = {"x": float(x)}
     for method in TIMED_METHODS:
-        row[method] = _time_method(method, dataset, n_clusters, seed)
+        row[method] = _time_method(method, dataset, n_clusters, seed, config=config)
     return row
 
 
@@ -77,7 +88,9 @@ def run_fig6(
     )
 
     rows = map_trials(
-        partial(_fig6_point, seed=seed, base_n=config.fig6_base_n), points, n_jobs=n_jobs
+        partial(_fig6_point, seed=seed, base_n=config.fig6_base_n, config=config),
+        points,
+        n_jobs=n_jobs,
     )
 
     results: Dict[str, List[Dict[str, float]]] = {"vs_n": [], "vs_k": [], "vs_d": []}

@@ -61,6 +61,37 @@ def method_names() -> List[str]:
     return list(METHOD_NAMES)
 
 
+#: Canonical names of the methods with a sharded variant: these are the ones
+#: a ``config.backend`` routes through the transport registry (the composites
+#: shard their MGCPL encoder; the final baseline stage is inherently serial).
+SHARDED_CAPABLE = ("mcdc", "mcdc+gudmm", "mcdc+fkmawcw")
+
+
+def route_through_backend(
+    name: str, config: Optional[ExperimentConfig] = None
+) -> tuple:
+    """Resolve ``name`` and apply ``config.backend`` if the method shards.
+
+    Returns ``(canonical_name, extra_params)``: the registry name to
+    construct (``"mcdc"`` becomes ``"mcdc@sharded"`` when a backend is set)
+    and the ``backend=``/``hosts=`` parameters to pass.  Methods without a
+    sharded variant come back untouched — every experiment driver that honours
+    ``--backend`` (table3, fig4, fig6) routes through this one helper, so the
+    registry is bypassed nowhere.
+    """
+    canonical = resolve_name(name)
+    backend = getattr(config, "backend", None) if config is not None else None
+    extra: Dict[str, Any] = {}
+    if backend is not None and canonical in SHARDED_CAPABLE:
+        extra["backend"] = backend
+        hosts = tuple(getattr(config, "hosts", ()) or ())
+        if hosts:
+            extra["hosts"] = list(hosts)
+        if canonical == "mcdc":
+            canonical = "mcdc@sharded"
+    return canonical, extra
+
+
 def make_paper_method(
     name: str, n_clusters: int, seed: int, config: Optional[ExperimentConfig] = None
 ) -> BaseClusterer:
@@ -82,20 +113,13 @@ def make_paper_method(
     params = dict(PAPER_METHOD_PARAMS[canonical])
     if params.get("learning_rate", 0.0) is None:
         params["learning_rate"] = config.learning_rate if config is not None else 0.03
-    backend = getattr(config, "backend", None) if config is not None else None
-    if backend is not None and canonical in ("mcdc", "mcdc+gudmm", "mcdc+fkmawcw"):
-        # `repro run --backend ...`: route the MCDC family through the
-        # sharded runtime (the composites shard their MGCPL encoder; the
-        # final baseline stage is inherently serial).  The learning dynamics
-        # are shared code, so scores match the serial estimators up to
-        # MGCPL's floating-point regrouping.  Methods without a sharded
-        # variant are untouched — the CLI prints a note saying so.
-        params["backend"] = backend
-        hosts = tuple(getattr(config, "hosts", ()) or ())
-        if hosts:
-            params["hosts"] = list(hosts)
-        if canonical == "mcdc":
-            canonical = "mcdc@sharded"
+    # `repro run --backend ...`: route the MCDC family through the sharded
+    # runtime.  The learning dynamics are shared code, so scores match the
+    # serial estimators up to MGCPL's floating-point regrouping.  Methods
+    # without a sharded variant are untouched — the CLI prints a note saying
+    # so.
+    canonical, extra = route_through_backend(canonical, config)
+    params.update(extra)
     return make_clusterer(canonical, n_clusters=n_clusters, random_state=seed, **params)
 
 

@@ -26,13 +26,19 @@ repro.registry`` stays cycle-free and cheap.
 The *executor backend* registry behind the sharded wrappers' ``backend=``
 parameter follows the same pattern one layer down — see
 :func:`repro.distributed.transport.register_backend` /
-:func:`~repro.distributed.transport.make_executor`.
+:func:`~repro.distributed.transport.make_executor`.  Both registries share
+the same bookkeeping (normalised names, alias conflict detection, lazy
+population with rollback) through
+:class:`repro.utils.registry.NamedRegistry`; this module keeps the
+clusterer-specific spec and public functions.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.utils.registry import NamedRegistry
 
 __all__ = [
     "ClustererSpec",
@@ -45,14 +51,18 @@ __all__ = [
     "spec_for_instance",
 ]
 
-_REGISTRY: Dict[str, "ClustererSpec"] = {}
-_ALIASES: Dict[str, str] = {}
-_populated = False
+
+def _populate() -> None:
+    """Import the packages whose modules carry the registration decorators."""
+    import repro.baselines  # noqa: F401
+    import repro.core  # noqa: F401
+    import repro.distributed.runtime  # noqa: F401
 
 
-def _normalize(name: str) -> str:
-    """Case- and whitespace-insensitive lookup key."""
-    return name.strip().lower().replace(" ", "")
+_REGISTRY = NamedRegistry("clusterer", populate=_populate)
+
+#: Case- and whitespace-insensitive lookup key (shared helper).
+_normalize = NamedRegistry.normalize
 
 
 @dataclass(frozen=True)
@@ -94,54 +104,20 @@ def register_clusterer(
             description=description or (doc_lines[0] if doc_lines else ""),
             example_params=dict(example_params or {}),
         )
-        key = spec.name
-        existing = _REGISTRY.get(key)
-        if existing is not None and existing.factory is not obj:
-            raise ValueError(f"clusterer name {key!r} is already registered")
-        _REGISTRY[key] = spec
-        for alias in spec.aliases:
-            claimed = _ALIASES.get(alias)
-            if claimed is not None and claimed != key:
-                raise ValueError(f"alias {alias!r} already points at {claimed!r}")
-            _ALIASES[alias] = key
+        _REGISTRY.register(spec.name, spec, factory=obj, aliases=spec.aliases)
         return obj
 
     return wrap
 
 
-def _ensure_populated() -> None:
-    """Import the packages whose modules carry the registration decorators."""
-    global _populated
-    if _populated:
-        return
-    _populated = True  # set first: the imports below re-enter via decorators
-    try:
-        import repro.baselines  # noqa: F401
-        import repro.core  # noqa: F401
-        import repro.distributed.runtime  # noqa: F401
-    except BaseException:
-        # Roll back so the next lookup retries the imports and surfaces the
-        # real failure instead of an empty "Unknown clusterer" registry.
-        _populated = False
-        raise
-
-
 def resolve_name(name: str) -> str:
     """Canonical registry name for ``name`` (exact, alias, or error)."""
-    _ensure_populated()
-    key = _normalize(name)
-    if key in _REGISTRY:
-        return key
-    if key in _ALIASES:
-        return _ALIASES[key]
-    raise ValueError(
-        f"Unknown clusterer {name!r}; available: {', '.join(available_clusterers())}"
-    )
+    return _REGISTRY.resolve(name)
 
 
 def get_clusterer_spec(name: str) -> ClustererSpec:
     """The :class:`ClustererSpec` registered under ``name`` (or an alias)."""
-    return _REGISTRY[resolve_name(name)]
+    return _REGISTRY.get(name)
 
 
 def make_clusterer(name: str, **params: Any):
@@ -157,14 +133,12 @@ def make_clusterer(name: str, **params: Any):
 
 def available_clusterers() -> List[str]:
     """Sorted canonical names of every registered clusterer."""
-    _ensure_populated()
-    return sorted(_REGISTRY)
+    return _REGISTRY.names()
 
 
 def registered_specs() -> List[ClustererSpec]:
     """All registry entries, sorted by canonical name."""
-    _ensure_populated()
-    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+    return _REGISTRY.specs()
 
 
 def spec_for_instance(model: Any) -> ClustererSpec:
@@ -176,9 +150,7 @@ def spec_for_instance(model: Any) -> ClustererSpec:
     resolves to ``"mcdc"`` and persists its ``final_clusterer`` as a nested
     parameter.
     """
-    _ensure_populated()
-    for name in sorted(_REGISTRY):
-        spec = _REGISTRY[name]
+    for spec in _REGISTRY.specs():
         if spec.cls is type(model):
             return spec
     raise ValueError(

@@ -1,0 +1,194 @@
+"""The serving client: a fitted model behind ``host:port``.
+
+:class:`ServingClient` gives application code the estimator surface
+(``predict`` / ``ingest`` / ``info`` / ``snapshot``) over one TCP connection
+to a :class:`~repro.serving.server.ModelServer`.  Lifecycle is a context
+manager::
+
+    with ServingClient("127.0.0.1:9100") as client:
+        labels = client.predict(batch)          # bit-identical to in-process
+        client.ingest(fresh_batch)              # exact EngineState merge
+
+Connection handling:
+
+* **Reconnect on refused** — connecting retries ``ECONNREFUSED`` until
+  ``connect_timeout`` elapses, so a client racing a just-launched server
+  (the common fleet-startup pattern) waits for it instead of dying.
+* **Lazy reconnect, never replay** — after a transport failure the socket is
+  dropped and the *next* request opens a fresh connection (and re-handshakes).
+  A failed request itself is never resent automatically: ``ingest`` is not
+  idempotent, and the client cannot know whether the server applied the batch
+  before the connection died.  Callers that need exactly-once ingest must
+  deduplicate at the application level.
+
+Requests are strict request/response; server-side application errors raise
+:class:`~repro.distributed.transport.TransportError` carrying the remote
+traceback, and the session stays usable afterwards.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.base import ArrayOrDataset, extract_codes
+from repro.distributed.codec import (
+    pack_message,
+    parse_address,
+    recv_frame,
+    send_frame,
+    unpack_message,
+)
+from repro.distributed.transport import TransportError
+from repro.serving.protocol import check_welcome, hello_body, raise_remote_error
+
+__all__ = ["ServingClient"]
+
+
+class ServingClient:
+    """One connection to a model server, with the estimator-style surface.
+
+    Parameters
+    ----------
+    address:
+        ``"host:port"`` of a running ``repro serve`` server.
+    connect_timeout:
+        Total seconds to keep retrying a refused connection before giving up
+        (covers the server-still-starting race).
+    retry_interval:
+        Sleep between connection attempts.
+    timeout:
+        Optional per-operation socket timeout in seconds (default: block; a
+        predict on a large batch legitimately takes a while).
+    """
+
+    def __init__(
+        self,
+        address: str,
+        connect_timeout: float = 10.0,
+        retry_interval: float = 0.2,
+        timeout: Optional[float] = None,
+    ) -> None:
+        self.address = address
+        self._host, self._port = parse_address(address)
+        self.connect_timeout = float(connect_timeout)
+        self.retry_interval = float(retry_interval)
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        #: The server's welcome meta (model class, k, counters at connect).
+        self.server_info: Optional[Dict[str, Any]] = None
+
+    # ------------------------------------------------------------------ #
+    # Connection lifecycle
+    # ------------------------------------------------------------------ #
+    def connect(self) -> "ServingClient":
+        """Ensure a live, handshaken connection (retrying refused connects)."""
+        if self._sock is not None:
+            return self
+        deadline = time.monotonic() + self.connect_timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            try:
+                sock = socket.create_connection(
+                    (self._host, self._port), timeout=max(0.1, remaining)
+                )
+                break
+            except ConnectionRefusedError as exc:
+                if time.monotonic() + self.retry_interval >= deadline:
+                    raise TransportError(
+                        f"cannot connect to model server at {self.address}: {exc}"
+                    ) from exc
+                time.sleep(self.retry_interval)
+            except OSError as exc:
+                raise TransportError(
+                    f"cannot connect to model server at {self.address}: {exc}"
+                ) from exc
+        try:
+            sock.settimeout(self.timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            send_frame(sock, hello_body())
+            kind, meta, _ = unpack_message(recv_frame(sock))
+            self.server_info = check_welcome(kind, meta, self.address)
+        except BaseException:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+            raise
+        self._sock = sock
+        return self
+
+    def close(self) -> None:
+        """Drop the connection (idempotent); the server ends the session."""
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def __enter__(self) -> "ServingClient":
+        return self.connect()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Requests
+    # ------------------------------------------------------------------ #
+    def _request(
+        self, kind: str, meta: Optional[Dict[str, Any]] = None, **arrays: np.ndarray
+    ) -> Tuple[str, Dict[str, Any], Dict[str, np.ndarray]]:
+        self.connect()
+        try:
+            send_frame(self._sock, pack_message(kind, meta, **arrays))
+            reply_kind, reply_meta, reply_arrays = unpack_message(recv_frame(self._sock))
+        except (TransportError, socket.timeout) as exc:
+            # The connection state is unknown: drop it so the next request
+            # reconnects cleanly.  Do NOT replay this request (see module doc).
+            self.close()
+            raise TransportError(
+                f"model server at {self.address} failed mid-request: {exc}"
+            ) from exc
+        if reply_kind == "error":
+            raise_remote_error(reply_meta)
+        return reply_kind, reply_meta, reply_arrays
+
+    @staticmethod
+    def _codes(X: ArrayOrDataset) -> np.ndarray:
+        return np.ascontiguousarray(extract_codes(X), dtype=np.int64)
+
+    def predict(self, X: ArrayOrDataset) -> np.ndarray:
+        """Assign a batch on the server; bit-identical to in-process predict."""
+        _, _, arrays = self._request("predict", codes=self._codes(X))
+        return np.asarray(arrays["labels"], dtype=np.int64)
+
+    def ingest(self, X: ArrayOrDataset) -> np.ndarray:
+        """Stream a batch into the served model; returns its assigned labels."""
+        _, _, arrays = self._request("ingest", codes=self._codes(X))
+        return np.asarray(arrays["labels"], dtype=np.int64)
+
+    def info(self) -> Dict[str, Any]:
+        """The server's current model/counter facts."""
+        _, meta, _ = self._request("info")
+        return dict(meta)
+
+    def snapshot(self) -> Path:
+        """Force an atomic snapshot now; returns the server-side path."""
+        _, meta, _ = self._request("snapshot")
+        return Path(meta["path"])
+
+    def shutdown_server(self) -> None:
+        """Ask the server to drain and stop, then close this connection."""
+        try:
+            self._request("shutdown")
+        finally:
+            self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "connected" if self._sock is not None else "disconnected"
+        return f"ServingClient({self.address!r}, {state})"

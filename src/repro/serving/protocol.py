@@ -1,0 +1,102 @@
+"""The serving-tier wire protocol: request/response kinds over shared frames.
+
+The model server speaks the same length-prefixed JSON+npz frames as the shard
+worker (:mod:`repro.distributed.codec`), so a message is always ``(kind,
+meta, arrays)`` and arrays round-trip bit-exactly — which is what makes a
+loopback ``ServingClient.predict`` bit-identical to calling ``predict`` on
+the model in process.
+
+Session shape (one TCP connection, strict request/response — no pipelining):
+
+========== =============================== ================================
+request    payload                         response
+========== =============================== ================================
+``hello``  ``protocol``, ``service``       ``welcome`` (server info meta)
+``predict````codes`` int64 array           ``labels`` (+ ``n``)
+``ingest`` ``codes`` int64 array           ``labels`` (+ ``n``,
+                                           ``snapshot_taken``)
+``info``   —                               ``info`` (server info meta)
+``snapshot`` —                             ``snapshot`` (``path``)
+``shutdown`` —                             ``ok``; the server then drains
+========== =============================== ================================
+
+Application-level failures (a batch with the wrong feature count, a snapshot
+request with no path configured) come back as ``error`` frames carrying the
+exception name, message and server-side traceback; the session stays open.
+Transport-level failures (malformed frames, disconnects) end the session.
+
+Like the worker protocol, this is trusted-network plumbing: no
+authentication or encryption; serve on cluster-internal interfaces only.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Any, Dict, Optional
+
+from repro.distributed.codec import pack_message
+from repro.distributed.transport import TransportError
+
+__all__ = [
+    "SERVING_PROTOCOL_VERSION",
+    "SERVICE_NAME",
+    "REQUEST_KINDS",
+    "hello_body",
+    "error_body",
+    "raise_remote_error",
+    "check_welcome",
+]
+
+SERVING_PROTOCOL_VERSION = 1
+
+#: Distinguishes a model server from a shard worker in the handshake, so a
+#: client pointed at the wrong port fails with a message instead of a stall.
+SERVICE_NAME = "repro-serving"
+
+REQUEST_KINDS = ("predict", "ingest", "info", "snapshot", "shutdown")
+
+
+def hello_body() -> bytes:
+    """The client's opening frame."""
+    return pack_message(
+        "hello", {"protocol": SERVING_PROTOCOL_VERSION, "service": SERVICE_NAME}
+    )
+
+
+def error_body(exc: BaseException, include_traceback: bool = True) -> bytes:
+    """An application error as a response frame (session keeps serving)."""
+    meta: Dict[str, Any] = {"error": type(exc).__name__, "message": str(exc)}
+    if include_traceback:
+        meta["traceback"] = traceback.format_exc()
+    return pack_message("error", meta)
+
+
+def raise_remote_error(meta: Dict[str, Any]) -> None:
+    """Re-raise a server-reported ``error`` frame on the client."""
+    raise TransportError(
+        f"model server raised {meta.get('error', 'an exception')}: "
+        f"{meta.get('message', '')}"
+        + (
+            "\n--- server traceback ---\n" + meta["traceback"]
+            if meta.get("traceback")
+            else ""
+        )
+    )
+
+
+def check_welcome(kind: str, meta: Dict[str, Any], address: Optional[str] = None) -> Dict[str, Any]:
+    """Validate the server's handshake reply; returns the server-info meta."""
+    where = f" at {address}" if address else ""
+    if kind == "error":
+        raise_remote_error(meta)
+    if kind != "welcome" or meta.get("service") != SERVICE_NAME:
+        raise TransportError(
+            f"handshake with model server{where} failed: got {kind!r} "
+            f"(is that port a `repro serve` server, not a `repro worker`?)"
+        )
+    if meta.get("protocol") != SERVING_PROTOCOL_VERSION:
+        raise TransportError(
+            f"model server{where} speaks protocol {meta.get('protocol')!r}, "
+            f"this client speaks {SERVING_PROTOCOL_VERSION}"
+        )
+    return meta

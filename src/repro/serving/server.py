@@ -1,0 +1,389 @@
+"""The long-lived model server: load once, serve ``predict``/``ingest`` forever.
+
+:class:`ModelServer` is the serving tier the roadmap has been building toward
+since PR 2: it loads a fitted clusterer from an ``.npz`` archive exactly once
+(:func:`repro.persistence.load_model`), keeps it resident, and answers
+requests over the shared frame codec (:mod:`repro.distributed.codec`), one
+session thread per client connection (:class:`ThreadedFrameServer`).
+
+Concurrency contract
+--------------------
+``predict`` is read-only and runs *concurrently* across sessions under a
+shared read lock; ``ingest`` mutates the model (the estimator's exact
+:class:`~repro.engine.state.EngineState` merge plus the ``labels_`` append)
+and is *serialized* under the write lock, with writer preference so a steady
+stream of predicts cannot starve an ingest.  Because every ingest is an exact
+count merge, the served model is bit-identical to the same estimator fed the
+same batches in the same order in one process — concurrency changes the
+interleaving, never the arithmetic.  The assignment model's lazy mode/weight
+cache is pre-warmed after load and after every ingest (while the write lock
+is still held), so reader threads only ever see a fully-built cache.
+
+Durability
+----------
+Snapshots write the model back to disk through ``save_model`` into a
+temporary file in the target directory followed by an atomic ``os.replace``,
+so a crash mid-snapshot can never leave a torn archive — readers of the
+snapshot path always see either the previous or the new complete model.
+Snapshots are triggered three ways: every ``snapshot_every`` ingest batches
+(taken synchronously, still under the write lock), every
+``snapshot_interval`` seconds (a background thread, under a read lock), and
+once more during graceful drain if any ingest arrived since the last one.
+Ingests acknowledged *after* the last snapshot and before a crash are lost —
+the usual write-behind caveat; lower ``snapshot_every`` to shrink the window.
+
+Shutdown drains gracefully: the listening socket closes first, idle sessions
+notice via the interruptible receive and exit, in-flight requests finish and
+are answered, then the final snapshot lands.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import sys
+import tempfile
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+import numpy as np
+
+from repro.core.base import BaseClusterer
+from repro.distributed.codec import (
+    ThreadedFrameServer,
+    pack_message,
+    parse_address,
+    recv_frame_interruptible,
+    send_frame,
+    unpack_message,
+)
+from repro.distributed.transport import TransportError
+from repro.persistence import load_model, save_model
+from repro.serving.protocol import (
+    REQUEST_KINDS,
+    SERVICE_NAME,
+    SERVING_PROTOCOL_VERSION,
+    error_body,
+)
+
+__all__ = ["ReadWriteLock", "ModelServer", "serve_model"]
+
+
+class ReadWriteLock:
+    """Readers-writer lock with writer preference.
+
+    Any number of readers hold the lock together; a writer holds it alone.
+    A *waiting* writer blocks new readers, so ingests get through a steady
+    predict stream (at the cost of momentarily queueing reads — correct for
+    a serving tier where writes are rare and must not starve).
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writers_waiting = 0
+        self._writing = False
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        with self._cond:
+            while self._writing or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writing or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writing = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writing = False
+                self._cond.notify_all()
+
+
+class ModelServer(ThreadedFrameServer):
+    """Serve a fitted clusterer over TCP: concurrent reads, serialized writes.
+
+    Parameters
+    ----------
+    model:
+        A fitted :class:`BaseClusterer`, or a path to an ``.npz`` archive
+        written by ``save_model`` (loaded once, here).
+    host, port:
+        Listen address; ``port=0`` binds an ephemeral port (read
+        :attr:`address` after construction).
+    snapshot_path:
+        Where snapshots land.  Defaults to the model archive path when the
+        model was given as a path; with an in-memory model it must be set
+        explicitly for snapshots to be available.
+    snapshot_every:
+        Take a snapshot after every N ``ingest`` batches (0 disables).
+    snapshot_interval:
+        Also snapshot every this-many seconds while dirty (None disables).
+    once:
+        Exit ``serve_forever`` when every session accepted so far has
+        finished (single-client demos and tests).
+    """
+
+    def __init__(
+        self,
+        model: Union[BaseClusterer, str, Path],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        snapshot_path: Union[str, Path, None] = None,
+        snapshot_every: int = 0,
+        snapshot_interval: Optional[float] = None,
+        once: bool = False,
+    ) -> None:
+        super().__init__(host, port, once=once)
+        if isinstance(model, (str, Path)):
+            self.model_path: Optional[Path] = Path(model)
+            model = load_model(model)
+        else:
+            self.model_path = None
+        if not isinstance(model, BaseClusterer):
+            raise TypeError(
+                f"ModelServer expects a fitted clusterer or a model path, "
+                f"got {type(model).__name__}"
+            )
+        model._check_fitted()
+        self.model = model
+        self.snapshot_path = (
+            Path(snapshot_path) if snapshot_path is not None else self.model_path
+        )
+        self.snapshot_every = int(snapshot_every or 0)
+        if self.snapshot_every < 0:
+            raise ValueError("snapshot_every must be >= 0")
+        self.snapshot_interval = (
+            float(snapshot_interval) if snapshot_interval else None
+        )
+        if self.snapshot_interval is not None and self.snapshot_interval <= 0:
+            raise ValueError("snapshot_interval must be positive")
+        if (self.snapshot_every or self.snapshot_interval) and self.snapshot_path is None:
+            raise ValueError(
+                "snapshots are enabled but there is nowhere to write them: "
+                "pass snapshot_path= (or serve from a model file path)"
+            )
+
+        self._lock = ReadWriteLock()
+        self._snapshot_mutex = threading.Lock()
+        self._serve_thread: Optional[threading.Thread] = None
+        self._snapshot_thread: Optional[threading.Thread] = None
+        self.drained = threading.Event()
+        self.ingested_batches = 0
+        self.ingested_objects = 0
+        self.snapshots_taken = 0
+        self._ingests_since_snapshot = 0
+        # Pre-warm the lazy mode/weight cache so concurrent reader threads
+        # never race on filling it (readers share the read lock).
+        if self.model.assignment_model_ is not None:
+            _ = self.model.assignment_model_.modes
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def serve_forever(self) -> None:
+        if self.snapshot_interval is not None:
+            self._snapshot_thread = threading.Thread(
+                target=self._periodic_snapshots, daemon=True
+            )
+            self._snapshot_thread.start()
+        super().serve_forever()
+
+    def start(self) -> "ModelServer":
+        """Run :meth:`serve_forever` on a daemon thread; returns self (bound)."""
+        self._serve_thread = threading.Thread(target=self.serve_forever, daemon=True)
+        self._serve_thread.start()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> bool:
+        """Initiate graceful drain and wait for it; True if fully drained."""
+        self.shutdown()
+        thread = self._serve_thread
+        if thread is not None:
+            thread.join(timeout)
+        return self.drained.wait(timeout=max(0.0, timeout))
+
+    def _on_drained(self) -> None:
+        thread = self._snapshot_thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+        if self.snapshot_path is not None and self._ingests_since_snapshot:
+            try:
+                with self._lock.read():
+                    self._write_snapshot()
+            except Exception as exc:  # noqa: BLE001 - drain must complete
+                print(f"repro serve: final snapshot failed: {exc}", file=sys.stderr)
+        self.drained.set()
+
+    def _periodic_snapshots(self) -> None:
+        while not self._closing.wait(self.snapshot_interval):
+            try:
+                with self._lock.read():
+                    if self._ingests_since_snapshot:
+                        self._write_snapshot()
+            except Exception as exc:  # noqa: BLE001 - keep the timer alive
+                print(f"repro serve: periodic snapshot failed: {exc}", file=sys.stderr)
+
+    # ------------------------------------------------------------------ #
+    # Sessions
+    # ------------------------------------------------------------------ #
+    def handle_session(self, conn: socket.socket) -> None:
+        try:
+            body = recv_frame_interruptible(conn, self._closing.is_set)
+            if body is None:
+                return  # draining before the handshake arrived
+            kind, meta, arrays = unpack_message(body)
+            if kind != "hello" or meta.get("service") != SERVICE_NAME:
+                send_frame(conn, error_body(
+                    TransportError(f"expected a {SERVICE_NAME} hello, got {kind!r}"),
+                    include_traceback=False,
+                ))
+                return
+            if meta.get("protocol") != SERVING_PROTOCOL_VERSION:
+                send_frame(conn, error_body(
+                    TransportError(
+                        f"protocol {meta.get('protocol')!r} != {SERVING_PROTOCOL_VERSION}"
+                    ),
+                    include_traceback=False,
+                ))
+                return
+            send_frame(conn, pack_message("welcome", self.info()))
+            while True:
+                body = recv_frame_interruptible(conn, self._closing.is_set)
+                if body is None:
+                    return  # draining; the client reconnects elsewhere
+                kind, meta, arrays = unpack_message(body)
+                if kind == "shutdown":
+                    send_frame(conn, pack_message("ok", {"draining": True}))
+                    self.shutdown()
+                    return
+                try:
+                    reply = self._dispatch(kind, arrays)
+                except TransportError:
+                    raise  # framing/stream integrity broke: end the session
+                except Exception as exc:  # report, keep serving this client
+                    reply = error_body(exc)
+                send_frame(conn, reply)
+        except TransportError:
+            pass  # disconnect or malformed frame; the client sees its own error
+        except Exception:
+            pass  # adversarial payloads must never kill the server
+
+    def _dispatch(self, kind: str, arrays: Dict[str, np.ndarray]) -> bytes:
+        if kind == "predict":
+            codes = np.asarray(arrays["codes"], dtype=np.int64)
+            with self._lock.read():
+                labels = self.model.predict(codes)
+            return pack_message("labels", {"n": int(labels.shape[0])}, labels=labels)
+        if kind == "ingest":
+            codes = np.asarray(arrays["codes"], dtype=np.int64)
+            with self._lock.write():
+                labels = self.model.ingest(codes)
+                self.ingested_batches += 1
+                self.ingested_objects += int(labels.shape[0])
+                self._ingests_since_snapshot += 1
+                # Re-warm the cache before readers come back.
+                _ = self.model.assignment_model_.modes
+                snapshot_taken = False
+                if (
+                    self.snapshot_every
+                    and self._ingests_since_snapshot >= self.snapshot_every
+                ):
+                    self._write_snapshot()
+                    snapshot_taken = True
+            return pack_message(
+                "labels",
+                {"n": int(labels.shape[0]), "snapshot_taken": snapshot_taken},
+                labels=labels,
+            )
+        if kind == "info":
+            with self._lock.read():
+                return pack_message("info", self.info())
+        if kind == "snapshot":
+            with self._lock.read():
+                path = self._write_snapshot()
+            return pack_message("snapshot", {"path": str(path)})
+        raise ValueError(
+            f"unknown request kind {kind!r}; this server speaks "
+            + ", ".join(REQUEST_KINDS)
+        )
+
+    # ------------------------------------------------------------------ #
+    # State
+    # ------------------------------------------------------------------ #
+    def info(self) -> Dict[str, Any]:
+        """JSON-serialisable server/model facts (the welcome/info meta)."""
+        assignment = self.model.assignment_model_
+        return {
+            "protocol": SERVING_PROTOCOL_VERSION,
+            "service": SERVICE_NAME,
+            "clusterer": type(self.model).__name__,
+            "n_clusters": int(self.model.n_clusters_),
+            "n_features": None if assignment is None else int(assignment.n_features),
+            "n_objects": int(self.model.labels_.shape[0]),
+            "ingested_batches": int(self.ingested_batches),
+            "ingested_objects": int(self.ingested_objects),
+            "snapshots_taken": int(self.snapshots_taken),
+            "snapshot_path": None if self.snapshot_path is None else str(self.snapshot_path),
+            "model_path": None if self.model_path is None else str(self.model_path),
+        }
+
+    def _write_snapshot(self) -> Path:
+        """Atomically persist the model (caller holds the read or write lock)."""
+        if self.snapshot_path is None:
+            raise RuntimeError(
+                "no snapshot path configured: pass snapshot_path= (or serve "
+                "from a model file path)"
+            )
+        with self._snapshot_mutex:
+            target = self.snapshot_path
+            target.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=str(target.parent), prefix=target.name + ".", suffix=".tmp"
+            )
+            os.close(fd)
+            try:
+                save_model(self.model, tmp)
+                os.replace(tmp, target)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:  # pragma: no cover - already replaced/removed
+                    pass
+                raise
+            self.snapshots_taken += 1
+            self._ingests_since_snapshot = 0
+        return target
+
+
+def serve_model(
+    model: Union[BaseClusterer, str, Path],
+    listen: str = "127.0.0.1:0",
+    **kwargs: Any,
+) -> ModelServer:
+    """Start a :class:`ModelServer` on a daemon thread; returns it (bound).
+
+    The blocking equivalent — what ``repro serve`` runs — is
+    ``ModelServer(model, host, port, ...).serve_forever()``.
+    """
+    host, port = parse_address(listen)
+    return ModelServer(model, host, port, **kwargs).start()

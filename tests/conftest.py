@@ -1,4 +1,9 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+The repo-wide hard per-test timeout (pytest-timeout, with an in-repo SIGALRM
+fallback) is configured in the repo-root ``conftest.py`` so it also covers
+``benchmarks/``.
+"""
 
 from __future__ import annotations
 

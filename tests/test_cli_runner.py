@@ -159,10 +159,72 @@ class TestBackendCLI:
         assert "Table III" in out and "MCDC" in out
 
     def test_run_backend_rejected_for_artefacts_that_ignore_it(self):
-        # only table3 constructs methods through make_paper_method; accepting
-        # --backend elsewhere would silently run serial
+        # only table3/fig4/fig6 construct MCDC through route_through_backend;
+        # accepting --backend elsewhere would silently run serial
         with pytest.raises(SystemExit, match="table3"):
             main(["run", "fig5", "--datasets", "Vot", "--backend", "serial"])
+        with pytest.raises(SystemExit, match="table3"):
+            main(["run", "table4", "--backend", "serial"])
+
+    @staticmethod
+    def _spy_on_sharded_mcdc(monkeypatch):
+        """Record every ShardedMCDC constructed (the registry builds the class)."""
+        from repro.distributed import runtime
+
+        created = []
+        original = runtime.ShardedMCDC.__init__
+
+        def spy(self, *args, **kwargs):
+            created.append(kwargs.get("backend"))
+            original(self, *args, **kwargs)
+
+        monkeypatch.setattr(runtime.ShardedMCDC, "__init__", spy)
+        return created
+
+    def test_run_fig4_with_backend_takes_the_sharded_path(self, monkeypatch, capsys):
+        created = self._spy_on_sharded_mcdc(monkeypatch)
+        assert main(["run", "fig4", "--datasets", "Vot", "--n-restarts", "1",
+                     "--backend", "serial"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out
+        # the full MCDC went through the sharded runtime; one construction
+        # per restart, each pinned to the requested backend
+        assert created and all(backend == "serial" for backend in created)
+
+    def test_run_fig6_with_backend_takes_the_sharded_path(self, monkeypatch):
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.fig6 import run_fig6
+
+        created = self._spy_on_sharded_mcdc(monkeypatch)
+        config = ExperimentConfig(
+            backend="serial", fig6_n_values=(300,), fig6_k_values=(3,),
+            fig6_d_values=(6,), fig6_base_n=300,
+        )
+        results = run_fig6(config=config, n_jobs=1)
+        assert len(results["vs_n"]) == 1
+        assert created and all(backend == "serial" for backend in created)
+
+    def test_route_through_backend_only_touches_the_mcdc_family(self):
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import route_through_backend
+
+        config = ExperimentConfig(backend="process", hosts=())
+        assert route_through_backend("MCDC", config) == (
+            "mcdc@sharded", {"backend": "process"}
+        )
+        assert route_through_backend("MCDC+G.", config) == (
+            "mcdc+gudmm", {"backend": "process"}
+        )
+        # no backend configured -> canonical name, no extras
+        assert route_through_backend("MCDC", None) == ("mcdc", {})
+        # no sharded variant -> untouched even with a backend
+        assert route_through_backend("K-MODES", config) == ("kmodes", {})
+        assert route_through_backend("MCDC1", config) == ("mcdc1", {})
+        # hosts travel with host-addressed backends
+        tcp = ExperimentConfig(backend="tcp", hosts=("h:1", "h:2"))
+        assert route_through_backend("mcdc", tcp) == (
+            "mcdc@sharded", {"backend": "tcp", "hosts": ["h:1", "h:2"]}
+        )
 
     def test_composite_with_hosts_but_no_backend_rejected(self):
         from repro.registry import make_clusterer

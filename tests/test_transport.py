@@ -6,11 +6,18 @@ loopback-TCP fit is **bit-identical** (EngineState counts and labels) to the
 serial backend on the UCI analogue sets; and every failure mode — refused
 connections, workers dying mid-sweep, partial construction — surfaces as a
 clear :class:`TransportError` instead of a hang or a leak.
+
+ISSUE 5 added the adversarial half (``TestCodecFuzz``): truncated frames,
+oversized length prefixes, malformed npz/JSON bodies and mid-frame
+disconnects must fail cleanly — on the worker server, on the serving server
+and on the clients — never hang, and never take the server down for the next
+session.  The whole file runs under a hard timeout.
 """
 
 from __future__ import annotations
 
 import socket
+import struct
 import threading
 
 import numpy as np
@@ -36,6 +43,8 @@ from repro.distributed.transport import (
     resolve_backend,
 )
 from repro.engine import make_engine
+
+pytestmark = pytest.mark.timeout(120)
 
 
 @pytest.fixture(scope="module")
@@ -380,3 +389,207 @@ class TestCodec:
             rpc.parse_address("localhost")
         with pytest.raises(ValueError, match="port"):
             rpc.parse_address("localhost:http")
+
+
+# ---------------------------------------------------------------------- #
+# Codec fuzzing: adversarial bytes fail cleanly on every server and client
+# ---------------------------------------------------------------------- #
+class TestCodecFuzz:
+    """Hostile frames must raise TransportError / close cleanly — never hang."""
+
+    @pytest.fixture()
+    def worker_target(self, small_clusters):
+        server = rpc.serve_worker("127.0.0.1:0")
+
+        def healthy():
+            transport = rpc.TCPTransport(
+                server.address, small_clusters.codes[:20],
+                list(small_clusters.n_categories),
+            )
+            try:
+                transport.submit("ping", ())
+                assert transport.result() == 20
+            finally:
+                transport.close()
+
+        yield server.address, healthy
+        server.shutdown()
+
+    @pytest.fixture()
+    def serving_target(self, tmp_path, small_clusters):
+        from repro.persistence import save_model
+        from repro.registry import make_clusterer
+        from repro.serving import ServingClient, serve_model
+
+        model = make_clusterer(
+            "kmodes", n_clusters=3, n_init=1, random_state=0
+        ).fit(small_clusters)
+        path = tmp_path / "fuzzed.npz"
+        save_model(model, path)
+        server = serve_model(path)
+
+        def healthy():
+            with ServingClient(server.address, connect_timeout=5) as client:
+                assert client.info()["service"] == "repro-serving"
+                assert client.predict(small_clusters.codes[:5]).shape == (5,)
+
+        yield server.address, healthy
+        assert server.stop(timeout=10)
+
+    @pytest.fixture(params=["worker", "serving"])
+    def target(self, request):
+        """(address, health-check) for each long-lived server flavour."""
+        return request.getfixturevalue(f"{request.param}_target")
+
+    @staticmethod
+    def _connect(address: str) -> socket.socket:
+        host, port = rpc.parse_address(address)
+        sock = socket.create_connection((host, port), timeout=5)
+        sock.settimeout(5)
+        return sock
+
+    @staticmethod
+    def _server_closed(sock: socket.socket) -> bool:
+        """Read until EOF; socket.timeout here would mean the server hung."""
+        while True:
+            data = sock.recv(1 << 16)
+            if not data:
+                return True
+
+    # -- unit level: unpack_message rejects garbage as TransportError ------ #
+    def test_unpack_rejects_malformed_bodies(self):
+        import io
+
+        from repro.distributed.codec import unpack_message
+
+        with pytest.raises(TransportError, match="malformed frame"):
+            unpack_message(b"")  # empty body
+        with pytest.raises(TransportError, match="malformed frame"):
+            unpack_message(b"not an npz archive at all")
+        # a well-formed npz archive missing the __meta__ entry
+        buffer = io.BytesIO()
+        np.savez(buffer, data=np.arange(3))
+        with pytest.raises(TransportError, match="malformed frame"):
+            unpack_message(buffer.getvalue())
+        # __meta__ present but not JSON
+        buffer = io.BytesIO()
+        np.savez(buffer, __meta__=np.asarray("{this is not json"))
+        with pytest.raises(TransportError, match="malformed frame"):
+            unpack_message(buffer.getvalue())
+        # valid JSON object without a kind
+        buffer = io.BytesIO()
+        np.savez(buffer, __meta__=np.asarray('{"protocol": 1}'))
+        with pytest.raises(TransportError, match="malformed frame"):
+            unpack_message(buffer.getvalue())
+
+    # -- server side ------------------------------------------------------- #
+    def test_truncated_frame_then_disconnect(self, target):
+        address, healthy = target
+        sock = self._connect(address)
+        try:
+            # promise 64 bytes, deliver 16, vanish: the server must treat the
+            # mid-frame EOF as a dead peer and close the session
+            sock.sendall(struct.pack(">Q", 64) + b"x" * 16)
+        finally:
+            sock.close()
+        healthy()
+
+    def test_oversized_length_prefix_is_refused(self, target):
+        address, healthy = target
+        sock = self._connect(address)
+        try:
+            # a corrupt prefix promising 1 TiB must be rejected before any
+            # allocation, closing the connection — not honoured, not hung on
+            sock.sendall(struct.pack(">Q", 1 << 40))
+            assert self._server_closed(sock)
+        finally:
+            sock.close()
+        healthy()
+
+    def test_malformed_frame_body_closes_session(self, target):
+        address, healthy = target
+        body = b"\x00garbage that is not an npz archive\xff" * 4
+        sock = self._connect(address)
+        try:
+            sock.sendall(struct.pack(">Q", len(body)) + body)
+            assert self._server_closed(sock)
+        finally:
+            sock.close()
+        healthy()
+
+    def test_garbage_after_valid_serving_handshake(self, serving_target):
+        from repro.serving.protocol import hello_body
+
+        address, healthy = serving_target
+        sock = self._connect(address)
+        try:
+            rpc.send_frame(sock, hello_body())
+            kind, _, _ = rpc.unpack_message(rpc.recv_frame(sock))
+            assert kind == "welcome"
+            # now turn hostile mid-session
+            sock.sendall(struct.pack(">Q", 32) + b"Z" * 32)
+            assert self._server_closed(sock)
+        finally:
+            sock.close()
+        healthy()
+
+    # -- client side ------------------------------------------------------- #
+    def test_client_mid_frame_disconnect_raises(self, small_clusters):
+        """A fake server that dies mid-frame -> TransportError on the client."""
+        from repro.serving import ServingClient
+
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        address = "127.0.0.1:%d" % listener.getsockname()[1]
+
+        def half_server():
+            conn, _ = listener.accept()
+            rpc.recv_frame(conn)  # swallow the hello
+            conn.sendall(struct.pack(">Q", 1 << 16) + b"partial")
+            conn.close()
+
+        thread = threading.Thread(target=half_server, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(TransportError):
+                ServingClient(address, connect_timeout=5).connect()
+        finally:
+            thread.join(timeout=5)
+            listener.close()
+
+    def test_client_rejects_garbage_welcome(self):
+        from repro.serving import ServingClient
+
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        address = "127.0.0.1:%d" % listener.getsockname()[1]
+
+        def garbage_server():
+            conn, _ = listener.accept()
+            rpc.recv_frame(conn)
+            body = b"ceci n'est pas une npz"
+            conn.sendall(struct.pack(">Q", len(body)) + body)
+            conn.close()
+
+        thread = threading.Thread(target=garbage_server, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(TransportError, match="malformed frame"):
+                ServingClient(address, connect_timeout=5).connect()
+        finally:
+            thread.join(timeout=5)
+            listener.close()
+
+    def test_frame_cap_enforced_on_send(self, monkeypatch):
+        from repro.distributed import codec
+
+        monkeypatch.setattr(codec, "MAX_FRAME", 128)
+        left, right = socket.socketpair()
+        try:
+            with pytest.raises(TransportError, match="exceeds the 128"):
+                codec.send_frame(left, b"x" * 129)
+        finally:
+            left.close()
+            right.close()
