@@ -1,0 +1,118 @@
+"""Machine-readable benchmark trajectory files (``BENCH_*.json``).
+
+Every benchmark run appends one JSON entry per measurement to a trajectory
+file at the repo root — ``BENCH_engine.json`` for the frequency-engine
+benchmarks, ``BENCH_transport.json`` for the executor backends — so the
+performance story of the codebase is data in the tree, not prose in commit
+messages.  An entry records what was measured (bench name, problem size
+``n``/``d``/``k``), the result (wall seconds, throughput, speedup over the
+named baseline) and enough environment to interpret it (python / numpy /
+numba versions, platform, CPU count).
+
+The files are plain JSON arrays, newest entry last, capped at
+:data:`MAX_ENTRIES` so they stay reviewable; writes are atomic
+(write-to-temp + rename) so a crashed run cannot corrupt the trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import tempfile
+import time
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Oldest entries are dropped beyond this many, keeping the files reviewable.
+MAX_ENTRIES = 200
+
+
+def bench_path(kind: str) -> str:
+    """Repo-root path of the ``kind`` trajectory file (``BENCH_<kind>.json``)."""
+    return os.path.join(REPO_ROOT, f"BENCH_{kind}.json")
+
+
+def _environment() -> Dict[str, Any]:
+    try:
+        import numba
+
+        numba_version: Optional[str] = numba.__version__
+    except ImportError:
+        numba_version = None
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "numba": numba_version,
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def load(kind: str) -> List[Dict[str, Any]]:
+    """All recorded entries of a trajectory (oldest first; ``[]`` if none)."""
+    try:
+        with open(bench_path(kind)) as handle:
+            entries = json.load(handle)
+    except (FileNotFoundError, json.JSONDecodeError):
+        return []
+    return entries if isinstance(entries, list) else []
+
+
+def record(
+    kind: str,
+    bench: str,
+    *,
+    n: Optional[int] = None,
+    d: Optional[int] = None,
+    k: Optional[int] = None,
+    wall_seconds: Optional[float] = None,
+    throughput: Optional[float] = None,
+    speedup: Optional[float] = None,
+    **extra: Any,
+) -> Dict[str, Any]:
+    """Append one measurement to the ``kind`` trajectory and return it.
+
+    ``throughput`` is objects per second of the measured configuration;
+    ``speedup`` is relative to whatever baseline the benchmark names in its
+    ``extra`` fields.  ``None`` fields are omitted from the entry.
+    """
+    entry: Dict[str, Any] = {
+        "bench": bench,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "n": n,
+        "d": d,
+        "k": k,
+        "wall_seconds": None if wall_seconds is None else float(wall_seconds),
+        "throughput_objects_per_s": None if throughput is None else float(throughput),
+        "speedup": None if speedup is None else float(speedup),
+    }
+    entry.update(_environment())
+    for key, value in extra.items():
+        entry[key] = float(value) if isinstance(value, (np.floating,)) else value
+    entry = {key: value for key, value in entry.items() if value is not None}
+
+    entries = load(kind)
+    entries.append(entry)
+    entries = entries[-MAX_ENTRIES:]
+
+    path = bench_path(kind)
+    handle = tempfile.NamedTemporaryFile(
+        "w", dir=os.path.dirname(path), prefix=".bench-", suffix=".tmp", delete=False
+    )
+    try:
+        json.dump(entries, handle, indent=2)
+        handle.write("\n")
+        handle.close()
+        os.replace(handle.name, path)
+    except BaseException:  # pragma: no cover - leave no temp litter behind
+        handle.close()
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+    return entry

@@ -1,0 +1,57 @@
+"""Zero-copy shared-memory sharding: ``backend="shm"`` in three flavours.
+
+The ``shm`` backend puts the coded data in one shared-memory segment that
+every worker process maps directly — no per-shard pickling — and keeps its
+worker pools *resident* between fits, so the second and every later fit of
+an experiment trial skips the pool spawn entirely.  Results stay
+bit-identical to the serial executor for the merged counts, and segments
+are always reclaimed: ``close()`` (called by the estimators) unlinks, and a
+crashed coordinator is covered by the worker watchdog + resource tracker.
+
+Run with ``PYTHONPATH=src python examples/shm_backend.py``.
+"""
+
+import time
+
+from repro.data.generators import make_categorical_clusters
+from repro.distributed import ShardedMGCPL, shm
+from repro.metrics import adjusted_rand_index
+
+
+def main() -> None:
+    dataset = make_categorical_clusters(
+        n_objects=50_000, n_features=12, n_clusters=5, n_categories=6,
+        purity=0.8, random_state=0, name="shm-demo",
+    )
+    params = dict(k0=16, max_epochs=3, random_state=0)
+
+    # Flavour 1: the estimator wrapper — this is `repro fit --backend shm`.
+    start = time.perf_counter()
+    first = ShardedMGCPL(n_shards=4, backend="shm", **params).fit(dataset)
+    first_s = time.perf_counter() - start
+
+    # Flavour 2: the same fit again.  The resident worker pools survived the
+    # first fit's close(), so this one pays no pool spawn — compare the two
+    # timings (the gap is the whole point of the backend).
+    start = time.perf_counter()
+    second = ShardedMGCPL(n_shards=4, backend="shm", **params).fit(dataset)
+    second_s = time.perf_counter() - start
+
+    print(f"first shm fit:  kappa={first.kappa_}  ({first_s:.2f}s, pools spawned)")
+    print(f"second shm fit: kappa={second.kappa_}  ({second_s:.2f}s, pools resident)")
+
+    # Flavour 3: against the process backend, which re-spawns pools per fit.
+    start = time.perf_counter()
+    process = ShardedMGCPL(n_shards=4, backend="process", **params).fit(dataset)
+    process_s = time.perf_counter() - start
+    print(f"process fit:    kappa={process.kappa_}  ({process_s:.2f}s)")
+    print(f"shm vs process agreement (ARI): "
+          f"{adjusted_rand_index(second.labels_, process.labels_):.4f}")
+
+    # Idle resident pools can be reclaimed explicitly (tests and notebooks
+    # that dislike background children); the next shm fit just re-spawns.
+    shm.shutdown()
+
+
+if __name__ == "__main__":
+    main()

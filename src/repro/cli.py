@@ -475,6 +475,7 @@ def _predict(args: argparse.Namespace) -> int:
 
 def _methods(_: argparse.Namespace) -> int:
     from repro.distributed.transport import backend_specs
+    from repro.engine import ENGINES, NUMBA_AVAILABLE, resolve_engine_kind
     from repro.registry import registered_specs
 
     for spec in registered_specs():
@@ -485,6 +486,15 @@ def _methods(_: argparse.Namespace) -> int:
     for backend in backend_specs():
         aliases = f"  (aliases: {', '.join(backend.aliases)})" if backend.aliases else ""
         print(f"{backend.name:<16} {backend.description}{aliases}")
+    print()
+    print("frequency engines (engine= on every clusterer):")
+    auto_kind = resolve_engine_kind("auto", 1, 1)
+    for name, engine_cls in sorted(ENGINES.items()):
+        doc = (engine_cls.__doc__ or "").strip().splitlines()
+        marker = "  [auto default]" if name == auto_kind else ""
+        print(f"{name:<16} {doc[0] if doc else ''}{marker}")
+    numba_note = "available" if NUMBA_AVAILABLE else "not installed (compiled runs interpreted)"
+    print(f"numba: {numba_note}")
     return 0
 
 

@@ -42,6 +42,7 @@ __all__ = [
     "coerce_codes",
     "codes_in_vocabulary",
     "compact_labels",
+    "dataset_onehot_cache",
     "extract_codes",
 ]
 
@@ -55,6 +56,18 @@ def extract_codes(X: ArrayOrDataset) -> np.ndarray:
     if isinstance(X, CategoricalDataset):
         return X.codes
     return check_array_2d(X, "X", dtype=np.int64)
+
+
+def dataset_onehot_cache(X: ArrayOrDataset):
+    """The one-hot cache of ``X`` when it is a dataset, else ``None``.
+
+    Estimators pass this to their executors so serial fits over the same
+    :class:`CategoricalDataset` (e.g. the restarts of one experiment trial)
+    reuse the dense one-hot encoding instead of rebuilding it per fit.
+    """
+    if isinstance(X, CategoricalDataset):
+        return X.onehot_cache()
+    return None
 
 
 def coerce_codes(X: ArrayOrDataset) -> Tuple[np.ndarray, List[int]]:

@@ -43,7 +43,13 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.base import ArrayOrDataset, BaseClusterer, coerce_codes, compact_labels
+from repro.core.base import (
+    ArrayOrDataset,
+    BaseClusterer,
+    coerce_codes,
+    compact_labels,
+    dataset_onehot_cache,
+)
 from repro.core.sync import InProcessShardExecutor, SweepBroadcast
 from repro.engine import ENGINES, make_engine
 from repro.registry import register_clusterer
@@ -243,6 +249,9 @@ class MGCPL(BaseClusterer):
 
     def _fit(self, X: ArrayOrDataset) -> "MGCPL":
         codes, n_categories = coerce_codes(X)
+        # A dataset-owned cache lets the dense one-hot encoding survive this
+        # fit: the next fit over the same dataset (a restart) reuses it.
+        self._onehot_cache = dataset_onehot_cache(X)
         n, d = codes.shape
         rng = ensure_rng(self.random_state)
 
@@ -331,7 +340,12 @@ class MGCPL(BaseClusterer):
         remote TCP hosts, or any plugin; the epoch loop itself only speaks
         the executor protocol and never branches on the backend.
         """
-        return InProcessShardExecutor(codes, n_categories, engine=self.engine)
+        return InProcessShardExecutor(
+            codes,
+            n_categories,
+            engine=self.engine,
+            onehot_cache=getattr(self, "_onehot_cache", None),
+        )
 
     def _run_epoch(
         self,

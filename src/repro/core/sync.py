@@ -37,7 +37,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.engine import EngineState, make_engine
+from repro.engine import EngineState, OneHotCache, make_engine
 
 
 def contiguous_shards(n: int, n_shards: int) -> List[np.ndarray]:
@@ -148,9 +148,32 @@ def mgcpl_sweep_local(engine, labels: np.ndarray, broadcast: SweepBroadcast) -> 
     to the *global* statistics), applies the winner/rival bookkeeping of
     Eqs. 10-13 for the shard's objects only, and leaves the engine holding
     the shard's count contribution under the new assignment.
+
+    An engine exposing ``competitive_sweep`` (the compiled backend,
+    :mod:`repro.engine.compiled`) runs the whole similarity/selection/
+    statistics pass as one fused kernel call; the kernels replicate the
+    NumPy expression below operation for operation, so both paths produce
+    bit-identical :class:`ShardUpdate`\\ s.
     """
     engine.restore(broadcast.state)
     k = engine.n_clusters
+    fused = getattr(engine, "competitive_sweep", None)
+    if fused is not None:
+        winners, win_counts, win_gain, rival_pen, rival_counts, win_sim_total = fused(
+            labels, broadcast.u, broadcast.rho, broadcast.omega, broadcast.blocked
+        )
+        changed = not np.array_equal(winners, labels)
+        engine.rebuild(winners)
+        return ShardUpdate(
+            labels=winners,
+            changed=changed,
+            state=engine.snapshot(),
+            win_counts=win_counts,
+            win_gain=win_gain,
+            rival_pen=rival_pen,
+            rival_counts=rival_counts,
+            win_sim_total=win_sim_total,
+        )
     sims = engine.similarity_matrix(
         feature_weights=broadcast.omega, exclude_labels=labels
     )
@@ -203,12 +226,24 @@ class ShardWorker:
     codes are shipped exactly once, at pool start-up).
     """
 
-    def __init__(self, codes: np.ndarray, n_categories: Sequence[int], engine: str = "auto") -> None:
+    def __init__(
+        self,
+        codes: np.ndarray,
+        n_categories: Sequence[int],
+        engine: str = "auto",
+        onehot_cache: Optional[OneHotCache] = None,
+    ) -> None:
         self.codes = np.ascontiguousarray(codes, dtype=np.int64)
         self.n_categories = list(n_categories)
         self.engine_kind = engine
         self.engine = None
         self.labels: Optional[np.ndarray] = None
+        # One cache per worker by default: begin_epoch builds a fresh engine
+        # per granularity level over the same (immutable) shard codes, so the
+        # dense one-hot encoding is built once per shard instead of once per
+        # epoch.  Callers may pass a longer-lived cache (e.g. one owned by
+        # the dataset) so the encoding also survives across fits/restarts.
+        self.onehot_cache = OneHotCache() if onehot_cache is None else onehot_cache
 
     def ping(self) -> int:
         """Liveness/handshake check: the number of resident shard objects.
@@ -222,7 +257,12 @@ class ShardWorker:
     def begin_epoch(self, n_clusters: int, labels: Optional[np.ndarray]) -> EngineState:
         """(Re)build the shard engine for a new epoch; returns the shard counts."""
         self.engine = make_engine(
-            self.codes, self.n_categories, n_clusters, kind=self.engine_kind, labels=labels
+            self.codes,
+            self.n_categories,
+            n_clusters,
+            kind=self.engine_kind,
+            labels=labels,
+            onehot_cache=self.onehot_cache,
         )
         self.labels = (
             np.asarray(labels, dtype=np.int64).copy()
@@ -264,16 +304,24 @@ class InProcessShardExecutor:
         n_categories: Sequence[int],
         shard_indices: Optional[List[np.ndarray]] = None,
         engine: str = "auto",
+        onehot_cache: Optional[OneHotCache] = None,
     ) -> None:
         codes = np.asarray(codes, dtype=np.int64)
         if shard_indices is None:
             shard_indices = contiguous_shards(codes.shape[0], 1)
         self.shard_indices = [np.asarray(idx, dtype=np.int64) for idx in shard_indices]
         self.n_objects = codes.shape[0]
-        self._workers = [
-            ShardWorker(shard_view(codes, idx), n_categories, engine=engine)
-            for idx in self.shard_indices
-        ]
+        self._workers = []
+        for idx in self.shard_indices:
+            view = shard_view(codes, idx)
+            # A caller-provided cache is identity-keyed on the codes array,
+            # so it can only ever hit for the identity shard (the serial
+            # single-shard path); fancy-indexed shard copies get their own
+            # per-worker cache rather than polluting the shared one.
+            cache = onehot_cache if view is codes else None
+            self._workers.append(
+                ShardWorker(view, n_categories, engine=engine, onehot_cache=cache)
+            )
 
     @property
     def n_shards(self) -> int:

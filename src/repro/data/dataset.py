@@ -183,6 +183,24 @@ class CategoricalDataset:
         """Whether the data set contains missing values."""
         return bool((self.codes < 0).any())
 
+    def onehot_cache(self):
+        """Lazily created one-hot cache tied to this data set's lifetime.
+
+        Engines built over ``self.codes`` (which estimators receive by
+        identity, see :func:`repro.core.base.coerce_codes`) share the dense
+        one-hot encoding through this cache, so repeated fits over the same
+        data set — the restarts of one experiment trial — encode it once.
+        The cache (a :class:`repro.engine.packed.OneHotCache`) dies with the
+        data set, so it cannot outlive the data it encodes.
+        """
+        cache = getattr(self, "_onehot_cache", None)
+        if cache is None:
+            from repro.engine.packed import OneHotCache
+
+            cache = OneHotCache()
+            self._onehot_cache = cache
+        return cache
+
     # ------------------------------------------------------------------ #
     # Transformations
     # ------------------------------------------------------------------ #

@@ -30,6 +30,7 @@ from repro.distributed.runtime import (
     ShardedMCDCEncoder,
     ShardedMGCPL,
 )
+from repro.distributed.shm import ShmExecutor
 from repro.distributed.transport import (
     ShardExecutor,
     ShardTransport,
@@ -62,6 +63,7 @@ __all__ = [
     "ShardedMCDCEncoder",
     "ShardExecutor",
     "ShardTransport",
+    "ShmExecutor",
     "TransportError",
     "available_backends",
     "make_executor",

@@ -1,0 +1,397 @@
+"""Zero-copy shared-memory shard executor (the ``"shm"`` backend).
+
+The ``"process"`` backend pickles every shard's codes into its worker pool at
+construction, and pays a full pool spawn per executor.  This backend removes
+both costs for single-host runs:
+
+* The ``(n, d)`` code matrix is written once, shard-permuted and contiguous,
+  into one :class:`multiprocessing.shared_memory.SharedMemory` segment.
+  Workers *attach* — each maps the segment and takes a read-only
+  ``numpy`` view of its ``[start, stop)`` row slice — so shard data is never
+  serialised and never copied into worker heaps.
+* Worker pools are *resident*: when an executor closes, its (detached)
+  single-worker pools return to a module-level free list and the next
+  executor reuses them, so repeated fits — the restarts of one experiment
+  trial — skip the pool spawn entirely.  ``shutdown()`` reclaims the idle
+  pools when a test (or an interpreter that dislikes stray children) wants a
+  clean slate.
+
+Segment lifecycle is belt-and-braces:
+
+* The executor owns its segment by name (``repro_shm_<pid>_<nonce>``) and
+  unlinks it in ``close()`` — which the estimators always call — so a normal
+  fit leaves nothing in ``/dev/shm``.
+* An ``atexit`` hook unlinks any segment still live at interpreter exit
+  (e.g. an executor the caller forgot to close).
+* Workers *unregister* their attachment from :mod:`multiprocessing`'s
+  ``resource_tracker`` (they are borrowers, not owners), while the creating
+  process keeps its registration.  That registration is the dead-coordinator
+  safety net: if the coordinator dies without running ``close()`` — even on
+  ``SIGKILL`` — its resource-tracker process survives long enough to unlink
+  the segment, so crashes cannot leak ``/dev/shm`` either.
+
+Transport failures surface as
+:class:`~repro.distributed.transport.TransportError`, matching the other
+backends; a broken pool is shut down rather than returned to the free list.
+"""
+
+from __future__ import annotations
+
+import atexit
+import gc
+import os
+import secrets
+import threading
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import get_start_method, resource_tracker, shared_memory
+from typing import Deque, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.sync import ShardWorker
+from repro.distributed.transport import (
+    TransportError,
+    TransportExecutor,
+    close_all,
+    register_backend,
+)
+
+#: Same spawn cap as the process backend: one resident pool per shard.
+MAX_SHM_SHARDS = 64
+
+#: Idle pools kept per start-method; extras are shut down on release.
+MAX_RESIDENT_POOLS = 32
+
+#: Seconds to wait for a worker to acknowledge a detach before the pool is
+#: judged wedged and discarded instead of reused.
+DETACH_TIMEOUT = 30.0
+
+__all__ = [
+    "MAX_SHM_SHARDS",
+    "ShmTransport",
+    "ShmExecutor",
+    "shutdown",
+    "resident_pool_size",
+]
+
+
+# ---------------------------------------------------------------------- #
+# Worker-process side: attach / detach / dispatch
+# ---------------------------------------------------------------------- #
+_WORKER: Optional[ShardWorker] = None
+_SEGMENT: Optional[shared_memory.SharedMemory] = None
+_WATCHDOG_STARTED = False
+
+#: Seconds between the worker watchdog's parent-liveness checks.
+WATCHDOG_INTERVAL = 1.0
+
+
+def _watch_parent() -> None:  # pragma: no cover - runs in worker processes
+    """Exit (and reclaim the segment) if the coordinator process dies.
+
+    A pool worker inherits the call-queue pipe's *write* end along with the
+    read end, so losing the coordinator never surfaces as EOF — an orphaned
+    worker would block forever, keeping the coordinator-side resource
+    tracker (and therefore the segment) alive.  Reparenting is the reliable
+    signal: when ``getppid`` changes, unlink whatever segment is attached
+    (racing unlinks are tolerated) and exit hard.
+    """
+    parent = os.getppid()
+    while True:
+        time.sleep(WATCHDOG_INTERVAL)
+        if os.getppid() != parent:
+            segment = _SEGMENT
+            if segment is not None:
+                try:
+                    segment.unlink()
+                except Exception:
+                    pass
+            os._exit(1)
+
+
+def _ensure_watchdog() -> None:
+    global _WATCHDOG_STARTED
+    if not _WATCHDOG_STARTED:
+        threading.Thread(
+            target=_watch_parent, name="repro-shm-watchdog", daemon=True
+        ).start()
+        _WATCHDOG_STARTED = True
+
+
+def _worker_detach() -> None:
+    """Drop the resident shard worker and unmap the segment."""
+    global _WORKER, _SEGMENT
+    _WORKER = None
+    segment, _SEGMENT = _SEGMENT, None
+    if segment is None:
+        return
+    try:
+        segment.close()
+    except BufferError:  # a view survived in a reference cycle; collect it
+        gc.collect()
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - defensive
+            pass
+
+
+def _no_register(name, rtype) -> None:
+    """Stand-in for ``resource_tracker.register`` during a borrowed attach."""
+
+
+def _shm_call(method: str, *args):
+    """Dispatch one coordinator request inside the worker process."""
+    global _WORKER, _SEGMENT
+    if method == "attach":
+        name, start, stop, d, n_categories, engine_kind = args
+        _ensure_watchdog()
+        _worker_detach()
+        # Attach without resource-tracker registration: this process only
+        # borrows a mapping.  Registering here (as 3.10-3.12 attach does
+        # unconditionally) would either unlink the segment when this worker
+        # exits (own tracker) or cancel the coordinator's ownership record
+        # (tracker shared across fork — the tracker cache is keyed by name
+        # alone).  Python 3.13 spells this ``track=False``; emulate it.
+        register = resource_tracker.register
+        resource_tracker.register = _no_register
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = register
+        _SEGMENT = segment
+        n_total = segment.size // (8 * d)
+        view = np.ndarray((n_total, d), dtype=np.int64, buffer=segment.buf)[start:stop]
+        view.flags.writeable = False
+        _WORKER = ShardWorker(view, list(n_categories), engine=engine_kind)
+        return int(stop - start)
+    if method == "detach":
+        _worker_detach()
+        return True
+    if _WORKER is None:
+        raise RuntimeError("shm worker has no attached shard")
+    return getattr(_WORKER, method)(*args)
+
+
+# ---------------------------------------------------------------------- #
+# Resident pool free list (coordinator side)
+# ---------------------------------------------------------------------- #
+_FREE_POOLS: Dict[str, Deque[ProcessPoolExecutor]] = {}
+
+
+def _context_key(mp_context) -> str:
+    if mp_context is None:
+        return get_start_method(allow_none=False)
+    return mp_context.get_start_method()
+
+
+def _acquire_pool(key: str, mp_context) -> ProcessPoolExecutor:
+    free = _FREE_POOLS.get(key)
+    if free:
+        return free.popleft()
+    return ProcessPoolExecutor(max_workers=1, mp_context=mp_context)
+
+
+def _release_pool(key: str, pool: ProcessPoolExecutor) -> None:
+    free = _FREE_POOLS.setdefault(key, deque())
+    if len(free) < MAX_RESIDENT_POOLS:
+        free.append(pool)
+    else:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def resident_pool_size() -> int:
+    """Number of idle worker pools currently kept for reuse."""
+    return sum(len(free) for free in _FREE_POOLS.values())
+
+
+def shutdown() -> None:
+    """Shut down every idle resident worker pool (live executors keep theirs)."""
+    for free in _FREE_POOLS.values():
+        while free:
+            free.popleft().shutdown(wait=True, cancel_futures=True)
+
+
+# ---------------------------------------------------------------------- #
+# Segment ownership + exit safety net
+# ---------------------------------------------------------------------- #
+_LIVE_SEGMENTS: set = set()
+_ATEXIT_REGISTERED = False
+
+
+def _atexit_cleanup() -> None:  # pragma: no cover - runs at interpreter exit
+    for segment in list(_LIVE_SEGMENTS):
+        segment.unlink()
+    shutdown()
+
+
+def _ensure_atexit() -> None:
+    global _ATEXIT_REGISTERED
+    if not _ATEXIT_REGISTERED:
+        atexit.register(_atexit_cleanup)
+        _ATEXIT_REGISTERED = True
+
+
+class _Segment:
+    """One named shared-memory segment, owned (and unlinked) by its creator."""
+
+    def __init__(self, nbytes: int) -> None:
+        for _ in range(8):
+            name = f"repro_shm_{os.getpid()}_{secrets.token_hex(4)}"
+            try:
+                self._shm = shared_memory.SharedMemory(
+                    name=name, create=True, size=max(int(nbytes), 8)
+                )
+                break
+            except FileExistsError:  # pragma: no cover - nonce collision
+                continue
+        else:  # pragma: no cover - eight collisions in a row
+            raise TransportError("could not allocate a shared-memory segment name")
+        self.name = name
+        _LIVE_SEGMENTS.add(self)
+
+    @property
+    def buf(self):
+        return self._shm.buf
+
+    def unlink(self) -> None:
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        _LIVE_SEGMENTS.discard(self)
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - a coordinator view survived
+            pass
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already reclaimed
+            pass
+
+
+# ---------------------------------------------------------------------- #
+# Transport + executor
+# ---------------------------------------------------------------------- #
+class ShmTransport:
+    """One shard's channel to a (resident) single-worker pool.
+
+    ``close()`` detaches the worker from the segment and, if the pool is
+    healthy, returns it to the module free list for the next executor; a
+    broken or wedged pool is shut down instead.
+    """
+
+    def __init__(self, mp_context=None) -> None:
+        self._key = _context_key(mp_context)
+        self._pool: Optional[ProcessPoolExecutor] = _acquire_pool(self._key, mp_context)
+        self._futures: deque = deque()
+        self._broken = False
+
+    def submit(self, method: str, args: tuple) -> None:
+        if self._pool is None:
+            raise TransportError(f"shm transport is closed; cannot run {method!r}")
+        try:
+            self._futures.append(self._pool.submit(_shm_call, method, *args))
+        except (BrokenProcessPool, RuntimeError) as exc:
+            self._broken = True
+            raise TransportError(f"shm shard worker is gone: {exc}") from exc
+
+    def result(self):
+        try:
+            return self._futures.popleft().result()
+        except BrokenProcessPool as exc:
+            self._broken = True
+            raise TransportError(
+                "shm shard worker died mid-operation (BrokenProcessPool); "
+                "its shard's state is lost — re-create the executor to refit"
+            ) from exc
+
+    def close(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        self._futures.clear()
+        if self._broken:
+            pool.shutdown(wait=False, cancel_futures=True)
+            return
+        try:
+            pool.submit(_shm_call, "detach").result(timeout=DETACH_TIMEOUT)
+        except Exception:
+            pool.shutdown(wait=False, cancel_futures=True)
+            return
+        _release_pool(self._key, pool)
+
+
+@register_backend(
+    "shm",
+    aliases=("sharedmem", "shared-memory"),
+    description="Zero-copy shared-memory segment + resident single-host worker pools",
+    options=("mp_context",),
+)
+class ShmExecutor(TransportExecutor):
+    """Shards served from one shared-memory segment by resident worker pools.
+
+    Construction is transactional: the segment is created and filled, every
+    worker attaches and reports its slice length, and any failure unwinds —
+    transports closed, segment unlinked — before the error propagates.
+    ``close()`` is idempotent: workers detach (their pools return to the
+    resident free list) and the segment is unlinked, so no fit leaves a
+    segment in ``/dev/shm``.
+    """
+
+    def __init__(
+        self,
+        codes: np.ndarray,
+        n_categories: Sequence[int],
+        shard_indices: Sequence[np.ndarray],
+        engine: str = "auto",
+        mp_context=None,
+    ) -> None:
+        if len(shard_indices) > MAX_SHM_SHARDS:
+            raise ValueError(
+                f"{len(shard_indices)} shards would keep as many resident worker "
+                f"pools (> {MAX_SHM_SHARDS}); use fewer shards, or "
+                "backend='serial' for fine-grained shard layouts"
+            )
+        codes = np.asarray(codes, dtype=np.int64)
+        n, d = codes.shape
+        if d == 0:
+            raise ValueError("shm backend requires at least one feature column")
+        _ensure_atexit()
+        stops = np.cumsum([idx.size for idx in shard_indices])
+        starts = stops - np.asarray([idx.size for idx in shard_indices])
+        segment: Optional[_Segment] = None
+        transports: List[ShmTransport] = []
+        try:
+            segment = _Segment(codes.nbytes)
+            # One memcpy, shard-permuted: shard j owns the contiguous row
+            # slice [starts[j], stops[j]) of the segment.
+            view = np.ndarray((n, d), dtype=np.int64, buffer=segment.buf)
+            view[:] = codes[np.concatenate(shard_indices)]
+            del view  # release the exported buffer before any unlink
+            for _ in shard_indices:
+                transports.append(ShmTransport(mp_context))
+            for transport, start, stop in zip(transports, starts, stops):
+                transport.submit(
+                    "attach",
+                    (segment.name, int(start), int(stop), d, list(n_categories), engine),
+                )
+            # Force every attach now: a worker that cannot map the segment
+            # must fail the constructor, not the first sweep.
+            for transport, idx in zip(transports, shard_indices):
+                if transport.result() != idx.size:
+                    raise TransportError("worker reports a different shard size")
+        except BaseException:
+            close_all(transports)
+            if segment is not None:
+                segment.unlink()
+            raise
+        self._segment = segment
+        super().__init__(transports, shard_indices, n)
+
+    def close(self) -> None:
+        super().close()
+        segment, self._segment = getattr(self, "_segment", None), None
+        if segment is not None:
+            segment.unlink()

@@ -30,6 +30,8 @@ name          executor                                             options
 ``serial``    :class:`repro.core.sync.InProcessShardExecutor`     —
 ``process``   one worker process per shard                         ``mp_context``
               (:mod:`repro.distributed.runtime`)
+``shm``       zero-copy shared-memory segment + resident worker    ``mp_context``
+              pools (:mod:`repro.distributed.shm`)
 ``tcp``       one socket per shard to ``repro worker`` hosts       ``hosts``,
               (:mod:`repro.distributed.rpc`)                       ``placement``,
                                                                    ``timeout``
@@ -324,6 +326,7 @@ def _populate_backends() -> None:
     """Import the modules whose definitions carry the registration decorators."""
     import repro.distributed.rpc  # noqa: F401  (registers "tcp")
     import repro.distributed.runtime  # noqa: F401  (registers "process")
+    import repro.distributed.shm  # noqa: F401  (registers "shm")
 
 
 _BACKENDS = NamedRegistry("executor backend", populate=_populate_backends)

@@ -9,11 +9,15 @@ distributed pre-partitioner — evaluates the paper's object-cluster similarity
   similarity kernels; the default.
 * :class:`ChunkedEngine` — same kernels streamed over object blocks to bound
   peak memory at large ``n`` (Fig. 6 scale and beyond).
+* :class:`CompiledEngine` — numba-compiled fused sweep kernels over the
+  packed counts, bit-faithful to the loop reference; auto-selected when
+  numba is importable (:data:`NUMBA_AVAILABLE`), interpreted otherwise.
 * :class:`LoopEngine` — the seed per-feature loop implementation, kept as the
   numerical reference for property tests and benchmarks.
 
-Use :func:`make_engine` to construct a backend by name; ``"auto"`` picks
-dense or chunked from the one-hot footprint ``n * M``.
+Use :func:`make_engine` to construct a backend by name; ``"auto"`` picks the
+compiled backend when numba is present, else dense or chunked from the
+one-hot footprint ``n * M``.
 """
 
 from __future__ import annotations
@@ -22,14 +26,17 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.engine import compiled as _compiled
 from repro.engine.base import FrequencyEngine
-from repro.engine.packed import ChunkedEngine, DenseEngine, PackedFrequencyEngine
+from repro.engine.compiled import NUMBA_AVAILABLE, CompiledEngine
+from repro.engine.packed import ChunkedEngine, DenseEngine, OneHotCache, PackedFrequencyEngine
 from repro.engine.reference import LoopEngine
 from repro.engine.state import EngineState, state_from_labels
 
 ENGINES = {
     "dense": DenseEngine,
     "chunked": ChunkedEngine,
+    "compiled": CompiledEngine,
     "loop": LoopEngine,
 }
 
@@ -39,9 +46,17 @@ AUTO_DENSE_MAX_CELLS = 1 << 26
 
 
 def resolve_engine_kind(kind: str, n_objects: int, n_values: int) -> str:
-    """Resolve ``"auto"`` to a concrete backend name for a given problem size."""
+    """Resolve ``"auto"`` to a concrete backend name for a given problem size.
+
+    With numba importable, ``"auto"`` picks the compiled backend: its fused
+    kernels beat the BLAS-over-one-hot path and need no ``(n, M)`` one-hot,
+    so the memory-based dense/chunked split does not apply.  The flag is read
+    from :mod:`repro.engine.compiled` at call time so tests can patch it.
+    """
     if kind != "auto":
         return kind
+    if _compiled.NUMBA_AVAILABLE:
+        return "compiled"
     return "dense" if n_objects * n_values <= AUTO_DENSE_MAX_CELLS else "chunked"
 
 
@@ -64,11 +79,15 @@ def make_engine(
     n_clusters:
         Number of cluster slots.
     kind:
-        ``"auto"`` (default), ``"dense"``, ``"chunked"`` or ``"loop"``.
+        ``"auto"`` (default), ``"dense"``, ``"chunked"``, ``"compiled"`` or
+        ``"loop"``.
     labels:
         Optional initial assignment; when given the engine is rebuilt from it.
     kwargs:
-        Extra backend parameters (e.g. ``chunk_size`` for the chunked engine).
+        Extra backend parameters (e.g. ``chunk_size`` for the chunked engine,
+        or an ``onehot_cache`` shared by the packed backends; parameters a
+        backend does not take are silently dropped so one call site can
+        serve every backend).
     """
     codes = np.asarray(codes, dtype=np.int64)
     resolved = resolve_engine_kind(kind, codes.shape[0], int(sum(n_categories)))
@@ -78,6 +97,8 @@ def make_engine(
         raise ValueError(
             f"Unknown engine kind {kind!r}; expected 'auto' or one of {sorted(ENGINES)}"
         ) from None
+    if not issubclass(engine_cls, PackedFrequencyEngine):
+        kwargs = {k: v for k, v in kwargs.items() if k != "onehot_cache"}
     engine = engine_cls(codes, n_categories, n_clusters, **kwargs)
     if labels is not None:
         engine.rebuild(labels)
@@ -91,7 +112,10 @@ __all__ = [
     "PackedFrequencyEngine",
     "DenseEngine",
     "ChunkedEngine",
+    "CompiledEngine",
     "LoopEngine",
+    "OneHotCache",
+    "NUMBA_AVAILABLE",
     "ENGINES",
     "AUTO_DENSE_MAX_CELLS",
     "resolve_engine_kind",

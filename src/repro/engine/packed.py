@@ -44,6 +44,44 @@ from repro.engine.state import (
 from repro.utils.validation import check_array_2d, check_positive_int
 
 
+class OneHotCache:
+    """Identity-keyed cache of dense one-hot encodings.
+
+    The ``(n, M)`` one-hot of a data matrix depends only on the codes array
+    and the vocabulary — not on ``k`` — yet every ``begin_epoch`` of a
+    granularity ladder, and every restart of an experiment trial, builds a
+    fresh engine and used to re-encode the same immutable matrix.  Sharing
+    one cache across those engines makes the encoding a build-once artifact.
+
+    Keys are ``(codes identity, vocabulary)``: a hit requires the *same*
+    array object (``is``), which is safe against mutation-by-copy and cheap
+    to check, and works because :func:`repro.core.base.coerce_codes` and
+    :func:`repro.core.sync.shard_view` preserve identity on the serial path.
+    Entries hold strong references; ``capacity`` bounds them (FIFO eviction)
+    so a long-lived cache cannot accumulate encodings of dead datasets.
+    """
+
+    def __init__(self, capacity: int = 2) -> None:
+        self.capacity = check_positive_int(capacity, "capacity")
+        self._entries: list = []  # [(codes, vocab tuple, onehot), ...]
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, codes: np.ndarray, n_categories: Sequence[int]) -> Optional[np.ndarray]:
+        vocab = tuple(n_categories)
+        for cached_codes, cached_vocab, onehot in self._entries:
+            if cached_codes is codes and cached_vocab == vocab:
+                self.hits += 1
+                return onehot
+        self.misses += 1
+        return None
+
+    def store(self, codes: np.ndarray, n_categories: Sequence[int], onehot: np.ndarray) -> None:
+        self._entries.append((codes, tuple(n_categories), onehot))
+        while len(self._entries) > self.capacity:
+            self._entries.pop(0)
+
+
 class PackedFrequencyEngine(FrequencyEngine):
     """Shared packed-layout machinery of the vectorised backends.
 
@@ -60,8 +98,15 @@ class PackedFrequencyEngine(FrequencyEngine):
         ``(k,)`` cluster cardinalities.
     """
 
-    def __init__(self, codes, n_categories: Sequence[int], n_clusters: int) -> None:
+    def __init__(
+        self,
+        codes,
+        n_categories: Sequence[int],
+        n_clusters: int,
+        onehot_cache: Optional[OneHotCache] = None,
+    ) -> None:
         self.codes = check_array_2d(codes, "codes", dtype=np.int64)
+        self._onehot_cache = onehot_cache
         self.n_clusters = check_positive_int(n_clusters, "n_clusters")
         self.n_categories = [int(m) for m in n_categories]
         n, d = self.codes.shape
@@ -304,10 +349,21 @@ class PackedFrequencyEngine(FrequencyEngine):
         return sims
 
     def _cached_one_hot(self) -> np.ndarray:
-        """One-hot of the engine's own codes (codes are immutable — cache it)."""
+        """One-hot of the engine's own codes (codes are immutable — cache it).
+
+        With a shared :class:`OneHotCache` the encoding also survives this
+        engine: a later engine over the *same* codes array and vocabulary
+        (next epoch of the granularity ladder, next restart of a trial)
+        reuses it instead of re-encoding.
+        """
         cached = getattr(self, "_onehot", None)
         if cached is None:
-            cached = self._one_hot(self._packed_codes)
+            if self._onehot_cache is not None:
+                cached = self._onehot_cache.lookup(self.codes, self.n_categories)
+            if cached is None:
+                cached = self._one_hot(self._packed_codes)
+                if self._onehot_cache is not None:
+                    self._onehot_cache.store(self.codes, self.n_categories, cached)
             self._onehot = cached
         return cached
 
@@ -409,9 +465,14 @@ class ChunkedEngine(PackedFrequencyEngine):
     """
 
     def __init__(
-        self, codes, n_categories: Sequence[int], n_clusters: int, chunk_size: int = 8192
+        self,
+        codes,
+        n_categories: Sequence[int],
+        n_clusters: int,
+        chunk_size: int = 8192,
+        onehot_cache: Optional[OneHotCache] = None,
     ) -> None:
-        super().__init__(codes, n_categories, n_clusters)
+        super().__init__(codes, n_categories, n_clusters, onehot_cache=onehot_cache)
         self.chunk_size = check_positive_int(chunk_size, "chunk_size")
 
     def _block_size(self, n: int) -> int:

@@ -31,7 +31,7 @@ from repro.engine import (
     resolve_engine_kind,
 )
 
-PACKED_KINDS = ["dense", "chunked"]
+PACKED_KINDS = ["dense", "chunked", "compiled"]
 
 
 def random_problem(seed: int, n=60, d=5, k=4, missing=0.15):
