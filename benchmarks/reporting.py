@@ -19,6 +19,7 @@ from __future__ import annotations
 import json
 import os
 import platform
+import subprocess
 import tempfile
 import time
 from typing import Any, Dict, List, Optional
@@ -29,6 +30,26 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 #: Oldest entries are dropped beyond this many, keeping the files reviewable.
 MAX_ENTRIES = 200
+
+_GIT_COMMIT_CACHE: List[Optional[str]] = []
+
+
+def _git_commit() -> Optional[str]:
+    """The repo's short commit hash (cached; ``None`` outside a checkout).
+
+    Recorded in every entry so a trajectory point can be matched to the code
+    that produced it — the whole point of keeping the files in the tree.
+    """
+    if not _GIT_COMMIT_CACHE:
+        try:
+            commit = subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=REPO_ROOT, capture_output=True, text=True, timeout=10,
+            ).stdout.strip() or None
+        except (OSError, subprocess.SubprocessError):
+            commit = None
+        _GIT_COMMIT_CACHE.append(commit)
+    return _GIT_COMMIT_CACHE[0]
 
 
 def bench_path(kind: str) -> str:
@@ -49,7 +70,44 @@ def _environment() -> Dict[str, Any]:
         "numba": numba_version,
         "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
+        "commit": _git_commit(),
     }
+
+
+def validate_entry(entry: Any) -> List[str]:
+    """Schema-check one trajectory entry; returns the list of violations.
+
+    The shared contract every ``BENCH_*.json`` file in the tree must honour
+    (``benchmarks/test_reporting_schema.py`` enforces it for all of them):
+    required string fields ``bench`` and ``recorded_at`` (UTC ISO-8601
+    ``Z``-suffixed), numeric optionals where :func:`record` writes numbers,
+    and no ``None`` values (``record`` omits empty fields entirely).
+    """
+    problems: List[str] = []
+    if not isinstance(entry, dict):
+        return [f"entry is {type(entry).__name__}, not an object"]
+    for field in ("bench", "recorded_at"):
+        value = entry.get(field)
+        if not isinstance(value, str) or not value:
+            problems.append(f"{field!r} must be a non-empty string, got {value!r}")
+    recorded = entry.get("recorded_at")
+    if isinstance(recorded, str):
+        try:
+            time.strptime(recorded, "%Y-%m-%dT%H:%M:%SZ")
+        except ValueError:
+            problems.append(f"'recorded_at' is not UTC ISO-8601: {recorded!r}")
+    for field in ("n", "d", "k", "cpu_count"):
+        if field in entry and not isinstance(entry[field], int):
+            problems.append(f"{field!r} must be an integer, got {entry[field]!r}")
+    for field in ("wall_seconds", "throughput_objects_per_s", "speedup"):
+        if field in entry and not isinstance(entry[field], (int, float)):
+            problems.append(f"{field!r} must be a number, got {entry[field]!r}")
+    if "commit" in entry and not isinstance(entry["commit"], str):
+        problems.append(f"'commit' must be a string, got {entry['commit']!r}")
+    for key, value in entry.items():
+        if value is None:
+            problems.append(f"{key!r} is null (record() omits empty fields)")
+    return problems
 
 
 def load(kind: str) -> List[Dict[str, Any]]:

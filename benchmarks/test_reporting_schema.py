@@ -1,0 +1,76 @@
+"""Every ``BENCH_*.json`` trajectory in the tree honours one schema.
+
+The trajectory files are the repo's machine-readable performance story;
+they are only useful if every producer writes the same shape.  This suite
+runs the shared validator (:func:`benchmarks.reporting.validate_entry`)
+over every ``BENCH_*.json`` at the repo root — engine, transport, serving,
+and whatever future benchmarks add — and pins the validator's own behaviour
+so a drifting producer fails here, not in a downstream consumer.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+
+import pytest
+
+from benchmarks import reporting
+
+
+def _bench_files():
+    return sorted(glob.glob(os.path.join(reporting.REPO_ROOT, "BENCH_*.json")))
+
+
+def test_there_are_trajectories_to_validate():
+    names = [os.path.basename(p) for p in _bench_files()]
+    # The serving trajectory is part of the tree from PR 7 onwards.
+    assert "BENCH_serving.json" in names, names
+
+
+@pytest.mark.parametrize(
+    "path", _bench_files(), ids=[os.path.basename(p) for p in _bench_files()]
+)
+def test_trajectory_file_is_schema_valid(path):
+    with open(path) as handle:
+        entries = json.load(handle)
+    assert isinstance(entries, list) and entries, f"{path} is not a non-empty array"
+    assert len(entries) <= reporting.MAX_ENTRIES
+    for i, entry in enumerate(entries):
+        problems = reporting.validate_entry(entry)
+        assert problems == [], f"{os.path.basename(path)}[{i}]: {problems}"
+
+
+def test_record_output_validates(tmp_path, monkeypatch):
+    reporting._git_commit()  # resolve (and cache) from the real repo root
+    monkeypatch.setattr(reporting, "REPO_ROOT", str(tmp_path))
+    entry = reporting.record(
+        "schema-selftest", "unit", n=10, d=2, k=3,
+        wall_seconds=0.5, throughput=20.0, speedup=2.0, custom="x",
+    )
+    assert reporting.validate_entry(entry) == []
+    assert entry["custom"] == "x"
+    # The commit stamp is present in a git checkout (this repo is one).
+    assert isinstance(entry.get("commit"), str) and entry["commit"]
+    (reloaded,) = reporting.load("schema-selftest")
+    assert reporting.validate_entry(reloaded) == []
+
+
+def test_validator_rejects_malformed_entries():
+    assert reporting.validate_entry([]) != []
+    assert reporting.validate_entry({}) != []
+    assert reporting.validate_entry({"bench": "", "recorded_at": "x"}) != []
+    assert reporting.validate_entry(
+        {"bench": "b", "recorded_at": "2026-08-08T00:00:00Z", "n": "many"}
+    ) != []
+    assert reporting.validate_entry(
+        {"bench": "b", "recorded_at": "2026-08-08T00:00:00Z", "speedup": None}
+    ) != []
+    assert reporting.validate_entry(
+        {"bench": "b", "recorded_at": "not-a-time"}
+    ) != []
+    assert reporting.validate_entry(
+        {"bench": "b", "recorded_at": "2026-08-08T00:00:00Z",
+         "wall_seconds": 1.0, "commit": "abc1234"}
+    ) == []

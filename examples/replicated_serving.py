@@ -1,0 +1,121 @@
+"""Replicated serving: a primary, two read replicas, one router address.
+
+The PR 7 topology end to end, all in one process on loopback ports:
+
+1. fit a model and start a **primary** ``ModelServer`` (the single writer);
+2. start two **read replicas** with ``replica_of=primary`` — each pulls the
+   primary's full model archive over the ``replicate`` stream, then applies
+   one exact delta (raw codes + the primary's assigned labels, replayed as
+   a count merge) per ingest batch, so a replica's answers are always some
+   exact post-batch state of the primary, never a torn one;
+3. front all three with a :class:`~repro.serving.ServingRouter`: clients
+   connect to ONE address; predicts round-robin across the replicas
+   (pipelined predicts stream to one replica per session), ingests are
+   forwarded to the primary;
+4. a writer streams ingest batches through the router while pipelined
+   reader clients hammer it with ``map_predict``; afterwards both replicas'
+   states are verified **bit-identical** to an in-process reference
+   estimator fed the same batches.
+
+On a real deployment each piece is one command::
+
+    repro serve model.npz --listen host1:9100                 # primary
+    repro serve --replica-of host1:9100 --listen host2:9100   # replica x N
+    repro route --primary host1:9100 --replicas host2:9100,host3:9100
+
+Run with ``PYTHONPATH=src python examples/replicated_serving.py``.
+"""
+
+import threading
+import time
+
+import numpy as np
+
+from repro.data.generators import make_categorical_clusters
+from repro.registry import make_clusterer
+from repro.serving import ServingClient, route_serving, serve_model
+
+N_READERS = 3
+PREDICTS_PER_READER = 15
+N_INGEST_BATCHES = 5
+
+
+def main() -> None:
+    dataset = make_categorical_clusters(
+        n_objects=3_000, n_features=8, n_clusters=4, n_categories=5,
+        purity=0.85, random_state=0, name="replicated-serving-demo",
+    )
+    train, stream = dataset.codes[:2_000], dataset.codes[2_000:]
+    batches = [stream[i::N_INGEST_BATCHES] for i in range(N_INGEST_BATCHES)]
+    probe = np.ascontiguousarray(dataset.codes[::7])
+
+    model = make_clusterer("mcdc", n_clusters=4, random_state=0).fit(train)
+    reference = make_clusterer("mcdc", n_clusters=4, random_state=0).fit(train)
+
+    # --- the fleet -----------------------------------------------------
+    primary = serve_model(model)
+    primary.warm_up()
+    replicas = [serve_model(None, replica_of=primary.address) for _ in range(2)]
+    router = route_serving(
+        primary=primary.address, replicas=[r.address for r in replicas]
+    )
+    print(f"primary  {primary.address}")
+    for i, replica in enumerate(replicas):
+        print(f"replica{i} {replica.address}  (synced seq={replica.replica_seq})")
+    print(f"router   {router.address}  <- the only address clients need")
+
+    # --- readers (pipelined) racing a writer, all through the router ---
+    failures = []
+
+    def reader(reader_id: int) -> None:
+        try:
+            with ServingClient(router.address) as client:
+                for _ in range(PREDICTS_PER_READER):
+                    for labels in client.map_predict([probe] * 4):
+                        assert labels.shape == (probe.shape[0],)
+        except Exception as exc:  # noqa: BLE001
+            failures.append((reader_id, exc))
+
+    threads = [threading.Thread(target=reader, args=(i,)) for i in range(N_READERS)]
+    for thread in threads:
+        thread.start()
+    with ServingClient(router.address) as writer:
+        for batch in batches:
+            served = writer.ingest(batch)          # routed to the primary
+            expected = reference.ingest(batch)     # same batch, in process
+            np.testing.assert_array_equal(served, expected)
+    for thread in threads:
+        thread.join()
+    assert not failures, failures
+
+    # --- replicas converge to the exact post-stream state --------------
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline and any(
+        replica.replica_seq < N_INGEST_BATCHES for replica in replicas
+    ):
+        time.sleep(0.05)
+    expected_labels = reference.predict(probe)
+    for i, replica in enumerate(replicas):
+        assert replica.replica_seq == N_INGEST_BATCHES
+        with ServingClient(replica.address) as client:
+            np.testing.assert_array_equal(client.predict(probe), expected_labels)
+        state = replica.model.assignment_model_.state
+        ref_state = reference.assignment_model_.state
+        assert np.array_equal(state.packed, ref_state.packed)
+        assert np.array_equal(state.sizes, ref_state.sizes)
+        print(f"replica{i} caught up: seq={replica.replica_seq}, "
+              f"state bit-identical to the reference")
+
+    info = router.info()
+    print(f"routed predicts per backend: {info['routed_predicts']}")
+    print(f"routed ingests to primary:   {info['routed_ingests']}")
+
+    assert router.stop(timeout=10)
+    for replica in replicas:
+        assert replica.stop(timeout=10)
+    assert primary.stop(timeout=10)
+    print("drained cleanly; every read was an exact post-batch state")
+
+
+if __name__ == "__main__":
+    main()

@@ -10,9 +10,14 @@ Three families of commands:
   archive, and later load that archive to assign new objects.  This is the
   end-to-end exercise of the v2 estimator contract
   (:mod:`repro.registry` + :mod:`repro.persistence`).
-* ``repro serve`` — the long-lived serving tier (:mod:`repro.serving`): load
-  a model archive once and answer ``predict``/``ingest`` requests over TCP,
-  with periodic and ingest-count-triggered atomic snapshots back to disk.
+* ``repro serve`` / ``repro route`` — the long-lived serving tier
+  (:mod:`repro.serving`): load a model archive once and answer
+  ``predict``/``ingest`` requests over TCP, with server-side predict
+  micro-batching (``--batch-rows``/``--batch-delay-ms``), periodic and
+  ingest-count-triggered atomic snapshots back to disk, kernel warm-up
+  before the first connection (``--no-warmup`` to skip), and read replicas
+  that sync exactly from a primary (``--replica-of``).  ``repro route``
+  fronts a primary + replicas behind one address, round-robining predicts.
   ``repro predict --server HOST:PORT`` is the matching client path.
 * ``repro worker`` — host shards for the multi-host TCP backend: a
   long-lived server that receives its shard once per coordinator session and
@@ -37,6 +42,8 @@ Examples::
     python -m repro worker --listen 0.0.0.0:9001
     python -m repro predict vot.npz Vot --out labels.txt
     python -m repro serve vot.npz --listen 0.0.0.0:9100 --snapshot-every 100
+    python -m repro serve --replica-of host1:9100 --listen 0.0.0.0:9101
+    python -m repro route --primary host1:9100 --replicas host1:9101,host1:9102
     python -m repro predict --server host1:9100 Vot --out labels.txt
     python -m repro methods
 
@@ -133,7 +140,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve = subparsers.add_parser(
         "serve", help="serve a fitted model archive over TCP (predict/ingest)"
     )
-    serve.add_argument("model", help="path to a model archive written by 'repro fit'")
+    serve.add_argument(
+        "model", nargs="?", default=None,
+        help="path to a model archive written by 'repro fit' "
+        "(omit with --replica-of: a replica syncs its model from the primary)",
+    )
     serve.add_argument(
         "--listen", default="127.0.0.1:0", metavar="HOST:PORT",
         help="address to listen on (port 0 picks a free port, printed at start)",
@@ -151,6 +162,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="where snapshots land (default: overwrite the model archive)",
     )
     serve.add_argument(
+        "--batch-rows", type=int, default=4096, metavar="N",
+        help="micro-batching: coalesce queued predicts into kernel calls of "
+        "at most N rows (0 disables batching)",
+    )
+    serve.add_argument(
+        "--batch-delay-ms", type=float, default=0.0, metavar="MS",
+        help="extra milliseconds the batcher may wait to build a fuller "
+        "batch (0 drains whatever is queued)",
+    )
+    serve.add_argument(
+        "--replica-of", default=None, metavar="HOST:PORT",
+        help="start as a read replica of the primary server at HOST:PORT "
+        "(full sync, then exact per-ingest deltas; rejects ingest)",
+    )
+    serve.add_argument(
+        "--no-warmup", action="store_true",
+        help="skip pre-compiling kernels and pre-warming the assignment "
+        "cache before accepting connections",
+    )
+    serve.add_argument(
+        "--once", action="store_true",
+        help="exit once every accepted client session has finished",
+    )
+
+    route = subparsers.add_parser(
+        "route", help="front a primary + read replicas behind one address"
+    )
+    route.add_argument(
+        "--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+        help="address to listen on (port 0 picks a free port, printed at start)",
+    )
+    route.add_argument(
+        "--primary", default=None, metavar="HOST:PORT",
+        help="the ingest-accepting server (omit for a read-only fleet)",
+    )
+    route.add_argument(
+        "--replicas", default=None, metavar="HOST:PORT,HOST:PORT,...",
+        help="comma-separated read replicas predicts round-robin across "
+        "(default: reads go to the primary)",
+    )
+    route.add_argument(
         "--once", action="store_true",
         help="exit once every accepted client session has finished",
     )
@@ -500,13 +552,19 @@ def _methods(_: argparse.Namespace) -> int:
 
 def _serve(args: argparse.Namespace) -> int:
     from repro.distributed.codec import parse_address
+    from repro.distributed.transport import TransportError
     from repro.serving import ModelServer
 
     try:
         host, port = parse_address(args.listen)
     except ValueError as exc:
         raise SystemExit(str(exc))
-    if not Path(args.model).exists():
+    if (args.model is None) == (args.replica_of is None):
+        raise SystemExit(
+            "serve needs exactly one model source: a MODEL archive path "
+            "(primary) or --replica-of HOST:PORT (read replica)"
+        )
+    if args.model is not None and not Path(args.model).exists():
         raise SystemExit(f"model archive {args.model!r} does not exist "
                          "(write one with 'repro fit ... --out PATH')")
     try:
@@ -515,19 +573,48 @@ def _serve(args: argparse.Namespace) -> int:
             snapshot_path=args.snapshot_path,
             snapshot_every=args.snapshot_every,
             snapshot_interval=args.snapshot_interval,
+            max_batch_rows=args.batch_rows,
+            max_batch_delay_ms=args.batch_delay_ms,
+            replica_of=args.replica_of,
             once=args.once,
         )
-    except ValueError as exc:
+    except (ValueError, TransportError) as exc:
         raise SystemExit(str(exc))
     info = server.info()
+    source = args.model if args.model is not None else f"primary {args.replica_of}"
     print(f"serving {info['clusterer']} (k={info['n_clusters']}, "
-          f"n={info['n_objects']}) from {args.model}")
+          f"n={info['n_objects']}, role={info['role']}) from {source}")
     if server.snapshot_path is not None and (args.snapshot_every or args.snapshot_interval):
         print(f"snapshots -> {server.snapshot_path}")
+    if not args.no_warmup:
+        # Pre-pay JIT and cache latency before the first client connects.
+        numba = server.warm_up()
+        print(f"warm-up done (numba {'compiled' if numba else 'not available'})")
     # The resolved address (port 0 -> ephemeral) goes out last and flushed,
     # so launchers can scrape it and point their clients at it.
     print(f"repro serve listening on {server.address}", flush=True)
     server.serve_forever()
+    return 0
+
+
+def _route(args: argparse.Namespace) -> int:
+    from repro.distributed.codec import parse_address
+    from repro.serving import ServingRouter
+
+    try:
+        host, port = parse_address(args.listen)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    replicas = [r.strip() for r in (args.replicas or "").split(",") if r.strip()]
+    try:
+        router = ServingRouter(args.primary, replicas, host, port, once=args.once)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    reads = ", ".join(router.read_backends)
+    print(f"routing predicts across [{reads}]; "
+          f"ingests -> {router.primary or 'rejected (read-only fleet)'}")
+    print(f"repro route listening on {router.address}", flush=True)
+    router.serve_forever()
     return 0
 
 
@@ -556,6 +643,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _predict(args)
     if args.command == "serve":
         return _serve(args)
+    if args.command == "route":
+        return _route(args)
     if args.command == "methods":
         return _methods(args)
     if args.command == "worker":

@@ -171,10 +171,36 @@ class AssignmentModel:
         """
         codes = self.coerce(codes)
         labels = self._distances(codes).argmin(axis=1).astype(np.int64)
-        delta = state_from_labels(codes, self.state.n_categories, labels, self.n_clusters)
+        self._merge_delta(codes, labels)
+        return labels
+
+    def replay(self, codes: np.ndarray, labels: np.ndarray) -> None:
+        """Fold a batch in under *given* labels (a primary's ingest, replayed).
+
+        The replication path: a read replica receives the raw batch codes and
+        the labels the primary assigned, and must reproduce the primary's
+        post-batch state bit-identically *without* re-running the distance
+        kernel (whose input state might differ mid-catch-up).  Counting the
+        coerced codes under the given labels and exact-merging is exactly
+        what :meth:`ingest` did on the primary, so the states match.
+        """
+        codes = self.coerce(codes)
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.shape != (codes.shape[0],):
+            raise ValueError(
+                f"labels must have shape {(codes.shape[0],)}, got {labels.shape}"
+            )
+        if labels.size and (labels.min() < 0 or labels.max() >= self.n_clusters):
+            raise ValueError(
+                f"labels must be in [0, {self.n_clusters}), got "
+                f"[{labels.min()}, {labels.max()}]"
+            )
+        self._merge_delta(codes, labels)
+
+    def _merge_delta(self, coerced: np.ndarray, labels: np.ndarray) -> None:
+        delta = state_from_labels(coerced, self.state.n_categories, labels, self.n_clusters)
         self.state = self.state.merge(delta)
         self._cache = None
-        return labels
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         kind = "theta" if self.feature_weights is not None else "omega"

@@ -221,6 +221,21 @@ class BaseClusterer(ABC):
         self.labels_ = np.concatenate([self.labels_, labels])
         return labels
 
+    def replay_ingest(self, X: ArrayOrDataset, labels: np.ndarray) -> None:
+        """Apply another model's :meth:`ingest` outcome to this model.
+
+        The read-replica path: given the batch and the labels the primary
+        assigned to it, fold the batch in under those labels
+        (:meth:`AssignmentModel.replay` — an exact count merge, no distance
+        kernel) and extend ``labels_``.  After replaying the primary's ingest
+        stream in order, this model's state and ``labels_`` are bit-identical
+        to the primary's.
+        """
+        self._check_fitted()
+        labels = np.asarray(labels, dtype=np.int64)
+        self.assignment_model_.replay(extract_codes(X), labels)
+        self.labels_ = np.concatenate([self.labels_, labels])
+
     # ------------------------------------------------------------------ #
     # Parameters, cloning
     # ------------------------------------------------------------------ #

@@ -13,6 +13,15 @@ so the codec now lives here, shared by both servers:
   :class:`~repro.distributed.transport.TransportError`, never a raw
   ``zipfile``/``json`` exception — adversarial input must fail cleanly on
   both ends of the socket.
+* :func:`pack_compact` — the lean single-array body used by the serving
+  tier's pipelined fast path (PR 7).  An npz body costs ~250µs to round-trip
+  even for a one-row predict (zipfile + JSON on both ends), which dominates a
+  micro-query; the compact layout (magic, JSON meta, one raw C-order array)
+  round-trips in a few µs and is bit-exact for the simple numeric dtypes the
+  serving requests use.  :func:`unpack_message` transparently accepts both
+  layouts (compact bodies start with :data:`COMPACT_MAGIC`, npz bodies with
+  ``PK``), so every consumer keeps one decode entry point and fuzzed compact
+  bodies fail with :class:`TransportError` like fuzzed archives do.
 * :func:`send_frame` / :func:`recv_frame` — the length-prefixed framing with
   a :data:`MAX_FRAME` cap enforced on *both* send and receive, so a corrupt
   length prefix can never turn into a multi-exabyte allocation and an
@@ -43,7 +52,9 @@ from repro.distributed.transport import TransportError
 
 __all__ = [
     "MAX_FRAME",
+    "COMPACT_MAGIC",
     "pack_message",
+    "pack_compact",
     "unpack_message",
     "send_frame",
     "recv_frame",
@@ -82,14 +93,136 @@ def pack_message(kind: str, meta: Optional[Dict[str, Any]] = None, **arrays) -> 
     return buffer.getvalue()
 
 
-def unpack_message(body: bytes) -> Tuple[str, Dict[str, Any], Dict[str, np.ndarray]]:
-    """Inverse of :func:`pack_message`: ``(kind, meta, arrays)``.
+#: First bytes of a compact body.  An npz body is a zip archive and always
+#: starts with ``PK``, so the two layouts can never be confused.
+COMPACT_MAGIC = b"RFC1"
 
-    Malformed bodies — truncated archives, garbage bytes, bad JSON, a missing
-    ``__meta__`` entry or ``kind`` key — raise :class:`TransportError` so a
-    fuzzed or corrupted frame fails identically on every consumer instead of
-    leaking ``zipfile``/``json``/``KeyError`` internals.
+#: Dtypes a compact body may carry: fixed-width little-endian numerics and
+#: bools.  Anything else (objects, strings, big-endian exotica) goes through
+#: the general npz layout.
+_COMPACT_DTYPES = ("<i8", "<f8", "<i4", "|u1", "|b1")
+
+_U32 = struct.Struct(">I")
+_U8 = struct.Struct(">B")
+
+
+def pack_compact(kind: str, meta: Optional[Dict[str, Any]] = None, **arrays) -> bytes:
+    """Serialise one message into the lean single-array body.
+
+    Layout: ``RFC1 | u32 meta_len | meta JSON (with "kind") | u8 name_len |
+    array name | u8 dtype_len | dtype str | u8 ndim | ndim * u32 shape | raw
+    C-order bytes``.  At most one array, of a :data:`_COMPACT_DTYPES` dtype;
+    messages the layout cannot carry fall back to :func:`pack_message`, so
+    callers can use this unconditionally on their fast paths —
+    :func:`unpack_message` accepts either result.
     """
+    if len(arrays) > 1:
+        return pack_message(kind, meta, **arrays)
+    name, array = next(iter(arrays.items())) if arrays else ("", None)
+    if array is not None:
+        array = np.asarray(array)
+        if array.dtype.str not in _COMPACT_DTYPES or array.ndim > 4:
+            return pack_message(kind, meta, **arrays)
+        if array.ndim:  # ascontiguousarray would promote a 0-d array to 1-d
+            array = np.ascontiguousarray(array)
+    meta_bytes = json.dumps({"kind": kind, **(meta or {})}).encode("utf-8")
+    name_bytes = name.encode("utf-8")
+    if len(meta_bytes) > 0xFFFFFFFF or len(name_bytes) > 0xFF:
+        return pack_message(kind, meta, **arrays)
+    parts = [COMPACT_MAGIC, _U32.pack(len(meta_bytes)), meta_bytes,
+             _U8.pack(len(name_bytes)), name_bytes]
+    if array is None:
+        parts.append(_U8.pack(0))  # dtype_len 0 == no array
+    else:
+        dtype_bytes = array.dtype.str.encode("ascii")
+        parts.append(_U8.pack(len(dtype_bytes)))
+        parts.append(dtype_bytes)
+        parts.append(_U8.pack(array.ndim))
+        for dim in array.shape:
+            if dim > 0xFFFFFFFF:
+                return pack_message(kind, meta, **arrays)
+            parts.append(_U32.pack(dim))
+        parts.append(array.tobytes())
+    return b"".join(parts)
+
+
+class _CompactReader:
+    """Cursor over a compact body; every read is bounds-checked."""
+
+    def __init__(self, body: bytes) -> None:
+        self.body = body
+        self.offset = len(COMPACT_MAGIC)
+
+    def take(self, n: int) -> bytes:
+        end = self.offset + n
+        if n < 0 or end > len(self.body):
+            raise TransportError(
+                f"malformed compact frame: truncated at byte {self.offset}"
+            )
+        chunk = self.body[self.offset : end]
+        self.offset = end
+        return chunk
+
+    def u32(self) -> int:
+        return _U32.unpack(self.take(4))[0]
+
+    def u8(self) -> int:
+        return _U8.unpack(self.take(1))[0]
+
+
+def _unpack_compact(body: bytes) -> Tuple[str, Dict[str, Any], Dict[str, np.ndarray]]:
+    reader = _CompactReader(body)
+    try:
+        meta = json.loads(reader.take(reader.u32()).decode("utf-8"))
+        kind = meta.pop("kind")
+        if not isinstance(meta, dict) or not isinstance(kind, str):
+            raise TypeError("compact meta must be a JSON object with a string 'kind'")
+        name = reader.take(reader.u8()).decode("utf-8")
+        dtype_str = reader.take(reader.u8()).decode("ascii")
+    except TransportError:
+        raise
+    except Exception as exc:
+        raise TransportError(f"malformed compact frame: {exc}") from exc
+    if not dtype_str:
+        if reader.offset != len(body):
+            raise TransportError("malformed compact frame: trailing bytes after meta")
+        return kind, meta, {}
+    if dtype_str not in _COMPACT_DTYPES:
+        raise TransportError(
+            f"malformed compact frame: dtype {dtype_str!r} is not allowed"
+        )
+    dtype = np.dtype(dtype_str)
+    ndim = reader.u8()
+    if ndim > 4:
+        raise TransportError(f"malformed compact frame: {ndim} dimensions")
+    shape = tuple(reader.u32() for _ in range(ndim))
+    expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize if ndim else dtype.itemsize
+    raw = reader.take(expected)
+    if reader.offset != len(body):
+        raise TransportError("malformed compact frame: trailing bytes after array")
+    array = np.frombuffer(raw, dtype=dtype)
+    if ndim == 0:
+        array = array.reshape(())
+    else:
+        array = array.reshape(shape)
+    # .copy() so consumers get a writable, owned array (frombuffer views the
+    # frame bytes read-only) — same contract as arrays out of an npz body.
+    return kind, meta, {name: array.copy()}
+
+
+def unpack_message(body: bytes) -> Tuple[str, Dict[str, Any], Dict[str, np.ndarray]]:
+    """Inverse of :func:`pack_message` / :func:`pack_compact`.
+
+    Dispatches on the body's leading bytes (:data:`COMPACT_MAGIC` vs a zip
+    archive) and returns ``(kind, meta, arrays)`` either way.  Malformed
+    bodies — truncated archives or compact headers, garbage bytes, bad JSON,
+    a missing ``__meta__`` entry or ``kind`` key — raise
+    :class:`TransportError` so a fuzzed or corrupted frame fails identically
+    on every consumer instead of leaking ``zipfile``/``json``/``KeyError``
+    internals.
+    """
+    if body[: len(COMPACT_MAGIC)] == COMPACT_MAGIC:
+        return _unpack_compact(body)
     try:
         with np.load(io.BytesIO(body), allow_pickle=False) as archive:
             meta = json.loads(str(archive["__meta__"]))

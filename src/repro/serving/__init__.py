@@ -22,14 +22,18 @@ Quick start::
     server.stop()
 """
 
-from repro.serving.client import ServingClient
+from repro.serving.client import PendingPredict, ServingClient
 from repro.serving.protocol import SERVICE_NAME, SERVING_PROTOCOL_VERSION
+from repro.serving.router import ServingRouter, route_serving
 from repro.serving.server import ModelServer, ReadWriteLock, serve_model
 
 __all__ = [
     "ModelServer",
+    "PendingPredict",
     "ReadWriteLock",
     "ServingClient",
+    "ServingRouter",
+    "route_serving",
     "serve_model",
     "SERVICE_NAME",
     "SERVING_PROTOCOL_VERSION",

@@ -9,34 +9,62 @@ manager::
         labels = client.predict(batch)          # bit-identical to in-process
         client.ingest(fresh_batch)              # exact EngineState merge
 
+Pipelining
+----------
+``predict`` is strict request/response: one round-trip per call, throughput
+bounded by latency.  The pipelined path keeps many predicts in flight on the
+same connection::
+
+    futures = [client.predict_async(batch) for batch in batches]
+    labels = client.gather(*futures)            # or future.result() each
+
+    labels = client.map_predict(batches)        # submit-all + gather, in order
+
+Tagged requests go out back-to-back on the compact fast-path body layout;
+the server coalesces whatever is queued into single kernel calls
+(micro-batching) and answers each tag — possibly out of order.  Responses
+are matched by tag, never by position, and every reply is bit-identical to
+a per-batch ``predict``.  At most ``max_in_flight`` predicts are pending at
+once; submitting past the window first harvests the oldest replies.  All
+calls on one client must come from one thread (use one client per thread —
+connections are cheap; the server multiplexes sessions into shared batches).
+
 Connection handling:
 
-* **Reconnect on refused** — connecting retries ``ECONNREFUSED`` until
-  ``connect_timeout`` elapses, so a client racing a just-launched server
-  (the common fleet-startup pattern) waits for it instead of dying.
+* **Reconnect with backoff** — connecting retries ``ECONNREFUSED`` with
+  capped exponential backoff plus jitter until ``connect_timeout`` elapses,
+  so a client racing a just-launched server (the common fleet-startup
+  pattern) waits for it instead of dying — and a thundering herd of clients
+  does not hammer the listen queue in lockstep.
 * **Lazy reconnect, never replay** — after a transport failure the socket is
-  dropped and the *next* request opens a fresh connection (and re-handshakes).
-  A failed request itself is never resent automatically: ``ingest`` is not
+  dropped, every in-flight pipelined predict fails with the transport error,
+  and the *next* request opens a fresh connection (and re-handshakes).  A
+  failed request itself is never resent automatically: ``ingest`` is not
   idempotent, and the client cannot know whether the server applied the batch
   before the connection died.  Callers that need exactly-once ingest must
   deduplicate at the application level.
 
-Requests are strict request/response; server-side application errors raise
+Server-side application errors raise
 :class:`~repro.distributed.transport.TransportError` carrying the remote
-traceback, and the session stays usable afterwards.
+traceback (delivered through the matching future on the pipelined path), and
+the session stays usable afterwards.  A response with an unknown or
+already-answered tag is a protocol violation: the connection is dropped and
+every outstanding future fails.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.base import ArrayOrDataset, extract_codes
 from repro.distributed.codec import (
+    pack_compact,
     pack_message,
     parse_address,
     recv_frame,
@@ -46,7 +74,49 @@ from repro.distributed.codec import (
 from repro.distributed.transport import TransportError
 from repro.serving.protocol import check_welcome, hello_body, raise_remote_error
 
-__all__ = ["ServingClient"]
+__all__ = ["ServingClient", "PendingPredict"]
+
+
+def _remote_error(meta: Dict[str, Any]) -> TransportError:
+    """A server-reported ``error`` frame as an exception object (not raised)."""
+    try:
+        raise_remote_error(meta)
+    except TransportError as exc:
+        return exc
+
+
+class PendingPredict:
+    """A pipelined predict in flight; :meth:`result` blocks for the labels."""
+
+    __slots__ = ("_client", "tag", "n_rows", "_labels", "_error", "_done")
+
+    def __init__(self, client: "ServingClient", tag: int, n_rows: int) -> None:
+        self._client = client
+        self.tag = tag
+        self.n_rows = n_rows
+        self._labels: Optional[np.ndarray] = None
+        self._error: Optional[BaseException] = None
+        self._done = False
+
+    def done(self) -> bool:
+        return self._done
+
+    def result(self) -> np.ndarray:
+        """The assigned labels (receives further replies as needed)."""
+        while not self._done:
+            self._client._pump_one()
+        if self._error is not None:
+            raise self._error
+        return self._labels
+
+    def _fulfill(self, labels: Optional[np.ndarray], error: Optional[BaseException]) -> None:
+        self._labels = labels
+        self._error = error
+        self._done = True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "done" if self._done else "pending"
+        return f"PendingPredict(tag={self.tag}, rows={self.n_rows}, {state})"
 
 
 class ServingClient:
@@ -55,15 +125,21 @@ class ServingClient:
     Parameters
     ----------
     address:
-        ``"host:port"`` of a running ``repro serve`` server.
+        ``"host:port"`` of a running ``repro serve`` server (or router).
     connect_timeout:
         Total seconds to keep retrying a refused connection before giving up
         (covers the server-still-starting race).
     retry_interval:
-        Sleep between connection attempts.
+        Base delay between connection attempts; attempts back off
+        exponentially from here (with jitter) up to ``max_retry_interval``.
+    max_retry_interval:
+        Cap on the backoff delay between connection attempts.
     timeout:
         Optional per-operation socket timeout in seconds (default: block; a
         predict on a large batch legitimately takes a while).
+    max_in_flight:
+        Pipelining window: the most unanswered ``predict_async`` requests
+        allowed at once before submission first harvests old replies.
     """
 
     def __init__(
@@ -71,14 +147,22 @@ class ServingClient:
         address: str,
         connect_timeout: float = 10.0,
         retry_interval: float = 0.2,
+        max_retry_interval: float = 2.0,
         timeout: Optional[float] = None,
+        max_in_flight: int = 256,
     ) -> None:
         self.address = address
         self._host, self._port = parse_address(address)
         self.connect_timeout = float(connect_timeout)
         self.retry_interval = float(retry_interval)
+        self.max_retry_interval = float(max_retry_interval)
         self.timeout = timeout
+        self.max_in_flight = int(max_in_flight)
+        if self.max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
         self._sock: Optional[socket.socket] = None
+        self._next_tag = 0
+        self._pending: Dict[int, PendingPredict] = {}
         #: The server's welcome meta (model class, k, counters at connect).
         self.server_info: Optional[Dict[str, Any]] = None
 
@@ -86,10 +170,11 @@ class ServingClient:
     # Connection lifecycle
     # ------------------------------------------------------------------ #
     def connect(self) -> "ServingClient":
-        """Ensure a live, handshaken connection (retrying refused connects)."""
+        """Ensure a live, handshaken connection (backing off on refused)."""
         if self._sock is not None:
             return self
         deadline = time.monotonic() + self.connect_timeout
+        attempt = 0
         while True:
             remaining = deadline - time.monotonic()
             try:
@@ -98,11 +183,19 @@ class ServingClient:
                 )
                 break
             except ConnectionRefusedError as exc:
-                if time.monotonic() + self.retry_interval >= deadline:
+                # Capped exponential backoff with jitter: waiting clients
+                # spread out instead of retrying in lockstep, and the total
+                # wait never exceeds the connect_timeout deadline.
+                delay = min(
+                    self.retry_interval * (2.0 ** attempt), self.max_retry_interval
+                )
+                delay *= 0.5 + 0.5 * random.random()
+                attempt += 1
+                if time.monotonic() + delay >= deadline:
                     raise TransportError(
                         f"cannot connect to model server at {self.address}: {exc}"
                     ) from exc
-                time.sleep(self.retry_interval)
+                time.sleep(delay)
             except OSError as exc:
                 raise TransportError(
                     f"cannot connect to model server at {self.address}: {exc}"
@@ -123,19 +216,91 @@ class ServingClient:
         return self
 
     def close(self) -> None:
-        """Drop the connection (idempotent); the server ends the session."""
+        """Drop the connection (idempotent); the server ends the session.
+
+        Any still-outstanding pipelined predicts fail with a transport error
+        (their replies can no longer arrive on this connection).
+        """
         sock, self._sock = self._sock, None
         if sock is not None:
             try:
                 sock.close()
             except OSError:  # pragma: no cover
                 pass
+        if self._pending:
+            self._fail_pending(TransportError(
+                f"connection to {self.address} closed with "
+                f"{len(self._pending)} predicts outstanding"
+            ))
 
     def __enter__(self) -> "ServingClient":
         return self.connect()
 
     def __exit__(self, *exc: Any) -> None:
         self.close()
+
+    # ------------------------------------------------------------------ #
+    # Reply plumbing (shared by sync and pipelined paths)
+    # ------------------------------------------------------------------ #
+    def _fail_pending(self, exc: BaseException) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            future._fulfill(None, exc)
+
+    def _transport_failed(self, exc: BaseException) -> TransportError:
+        """Drop the connection and fail everything in flight; returns the
+        error to raise (futures carry it too)."""
+        wrapped = TransportError(
+            f"model server at {self.address} failed mid-request: {exc}"
+        )
+        self._fail_pending(wrapped)
+        self.close()
+        return wrapped
+
+    def _recv_reply(self) -> Tuple[str, Dict[str, Any], Dict[str, np.ndarray]]:
+        try:
+            return unpack_message(recv_frame(self._sock))
+        except (TransportError, socket.timeout) as exc:
+            raise self._transport_failed(exc) from exc
+
+    def _route_tagged(
+        self, kind: str, meta: Dict[str, Any], arrays: Dict[str, np.ndarray]
+    ) -> None:
+        """Deliver one tagged response to its future; tag violations kill
+        the connection (a reply that matches nothing can never be harvested)."""
+        tag = meta.get("tag")
+        future = self._pending.pop(tag, None)
+        if future is None:
+            exc = self._transport_failed(TransportError(
+                f"response carries unknown or already-answered tag {tag!r}"
+            ))
+            raise exc
+        if kind == "error":
+            future._fulfill(None, _remote_error(meta))
+        else:
+            future._fulfill(np.asarray(arrays["labels"], dtype=np.int64), None)
+
+    def _pump_one(self) -> None:
+        """Receive exactly one frame; it must belong to a pipelined predict."""
+        if self._sock is None:
+            # close()/a transport error already failed every future; nothing
+            # can still be pending here.
+            raise TransportError(f"not connected to {self.address}")
+        kind, meta, arrays = self._recv_reply()
+        if meta.get("tag") is None:
+            exc = self._transport_failed(TransportError(
+                f"expected a tagged response, got untagged {kind!r}"
+            ))
+            raise exc
+        self._route_tagged(kind, meta, arrays)
+
+    def _recv_untagged(self) -> Tuple[str, Dict[str, Any], Dict[str, np.ndarray]]:
+        """The next *untagged* frame (tagged ones are routed along the way)."""
+        while True:
+            kind, meta, arrays = self._recv_reply()
+            if meta.get("tag") is None:
+                return kind, meta, arrays
+            self._route_tagged(kind, meta, arrays)
 
     # ------------------------------------------------------------------ #
     # Requests
@@ -146,14 +311,11 @@ class ServingClient:
         self.connect()
         try:
             send_frame(self._sock, pack_message(kind, meta, **arrays))
-            reply_kind, reply_meta, reply_arrays = unpack_message(recv_frame(self._sock))
         except (TransportError, socket.timeout) as exc:
             # The connection state is unknown: drop it so the next request
             # reconnects cleanly.  Do NOT replay this request (see module doc).
-            self.close()
-            raise TransportError(
-                f"model server at {self.address} failed mid-request: {exc}"
-            ) from exc
+            raise self._transport_failed(exc) from exc
+        reply_kind, reply_meta, reply_arrays = self._recv_untagged()
         if reply_kind == "error":
             raise_remote_error(reply_meta)
         return reply_kind, reply_meta, reply_arrays
@@ -167,8 +329,51 @@ class ServingClient:
         _, _, arrays = self._request("predict", codes=self._codes(X))
         return np.asarray(arrays["labels"], dtype=np.int64)
 
+    def predict_async(self, X: ArrayOrDataset) -> PendingPredict:
+        """Submit a predict without waiting; returns a future (see module doc).
+
+        Replies are matched by tag and may be harvested in any order via
+        :meth:`PendingPredict.result` or :meth:`gather`.  When the in-flight
+        window is full the oldest reply is harvested first.
+        """
+        codes = self._codes(X)
+        self.connect()
+        while len(self._pending) >= self.max_in_flight:
+            self._pump_one()
+        tag = self._next_tag
+        self._next_tag += 1
+        future = PendingPredict(self, tag, int(codes.shape[0]))
+        self._pending[tag] = future
+        try:
+            send_frame(self._sock, pack_compact("predict", {"tag": tag}, codes=codes))
+        except (TransportError, socket.timeout) as exc:
+            raise self._transport_failed(exc) from exc
+        return future
+
+    def gather(self, *futures: PendingPredict) -> List[np.ndarray]:
+        """Wait for pipelined predicts; labels in the order the futures are
+        given.  With no arguments, waits for *every* outstanding predict (in
+        submission order)."""
+        if not futures:
+            futures = tuple(self._pending.values())
+        return [future.result() for future in futures]
+
+    def map_predict(self, batches: Iterable[ArrayOrDataset]) -> List[np.ndarray]:
+        """Pipeline a predict per batch; labels in batch order.
+
+        Equivalent to ``[self.predict(b) for b in batches]`` — bit-identical
+        labels — but with up to ``max_in_flight`` requests on the wire at
+        once, so throughput is bounded by server kernel time, not round-trips.
+        """
+        return self.gather(*[self.predict_async(batch) for batch in batches])
+
     def ingest(self, X: ArrayOrDataset) -> np.ndarray:
-        """Stream a batch into the served model; returns its assigned labels."""
+        """Stream a batch into the served model; returns its assigned labels.
+
+        Tagged predicts still in flight may be answered from the pre- or
+        post-ingest state (each is some exact post-batch state); call
+        :meth:`gather` first when before/after matters.
+        """
         _, _, arrays = self._request("ingest", codes=self._codes(X))
         return np.asarray(arrays["labels"], dtype=np.int64)
 

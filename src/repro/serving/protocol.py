@@ -1,12 +1,14 @@
 """The serving-tier wire protocol: request/response kinds over shared frames.
 
-The model server speaks the same length-prefixed JSON+npz frames as the shard
-worker (:mod:`repro.distributed.codec`), so a message is always ``(kind,
-meta, arrays)`` and arrays round-trip bit-exactly — which is what makes a
-loopback ``ServingClient.predict`` bit-identical to calling ``predict`` on
-the model in process.
+The model server speaks the same length-prefixed frames as the shard worker
+(:mod:`repro.distributed.codec`), so a message is always ``(kind, meta,
+arrays)`` and arrays round-trip bit-exactly — which is what makes a loopback
+``ServingClient.predict`` bit-identical to calling ``predict`` on the model
+in process.  Two body layouts share the framing: the general JSON+npz
+archive, and the compact single-array layout (``pack_compact``) used by the
+pipelined fast path — receivers accept either.
 
-Session shape (one TCP connection, strict request/response — no pipelining):
+Session shape (one TCP connection):
 
 ========== =============================== ================================
 request    payload                         response
@@ -17,13 +19,38 @@ request    payload                         response
                                            ``snapshot_taken``)
 ``info``   —                               ``info`` (server info meta)
 ``snapshot`` —                             ``snapshot`` (``path``)
+``replicate`` ``seq``                      ``sync`` (model archive bytes +
+                                           ``seq``), then a ``delta`` stream
 ``shutdown`` —                             ``ok``; the server then drains
 ========== =============================== ================================
 
+**Pipelining (protocol 2).**  A request may carry an integer ``tag`` in its
+meta; the response to a tagged request carries the same ``tag`` back, and
+tagged responses may arrive in ANY order relative to other tagged requests
+on the session.  This lets a client keep many predicts in flight on one
+connection (``ServingClient.predict_async`` / ``gather``) while the server
+coalesces them into kernel-sized batches.  Untagged requests keep the strict
+request/response alternation of protocol 1, so the two styles can be mixed:
+an untagged request's reply is the next *untagged* frame on the wire.
+Ordering caveat: tagged predicts already in flight when an ``ingest`` is
+issued on the same session may be answered from the pre- or post-ingest
+state (each individual reply is always an exact post-batch state); call
+``gather()`` before ingesting when before/after matters.
+
+**Replication.**  ``replicate`` turns the session into a one-way state
+stream: the server answers with a ``sync`` frame carrying the full model
+archive (the ``.npz`` snapshot is the shippable unit) and its current ingest
+sequence number, then pushes one ``delta`` frame per ingest batch —
+``seq``, the raw batch ``codes`` and the ``labels`` the primary assigned.
+Replaying a delta (count the coerced codes under the primary's labels,
+exact-merge into the ``EngineState``) reproduces the primary's post-batch
+state bit-identically, so a replica's reads are exact.
+
 Application-level failures (a batch with the wrong feature count, a snapshot
 request with no path configured) come back as ``error`` frames carrying the
-exception name, message and server-side traceback; the session stays open.
-Transport-level failures (malformed frames, disconnects) end the session.
+exception name, message and server-side traceback (plus the request's
+``tag``, if any); the session stays open.  Transport-level failures
+(malformed frames, disconnects) end the session.
 
 Like the worker protocol, this is trusted-network plumbing: no
 authentication or encryption; serve on cluster-internal interfaces only.
@@ -43,17 +70,20 @@ __all__ = [
     "REQUEST_KINDS",
     "hello_body",
     "error_body",
+    "request_tag",
     "raise_remote_error",
     "check_welcome",
 ]
 
-SERVING_PROTOCOL_VERSION = 1
+#: Version 2 adds tagged (pipelined, out-of-order) requests, the compact
+#: body layout on the predict fast path, and the ``replicate`` stream.
+SERVING_PROTOCOL_VERSION = 2
 
 #: Distinguishes a model server from a shard worker in the handshake, so a
 #: client pointed at the wrong port fails with a message instead of a stall.
 SERVICE_NAME = "repro-serving"
 
-REQUEST_KINDS = ("predict", "ingest", "info", "snapshot", "shutdown")
+REQUEST_KINDS = ("predict", "ingest", "info", "snapshot", "replicate", "shutdown")
 
 
 def hello_body() -> bytes:
@@ -63,11 +93,30 @@ def hello_body() -> bytes:
     )
 
 
-def error_body(exc: BaseException, include_traceback: bool = True) -> bytes:
+def request_tag(meta: Dict[str, Any]) -> Optional[int]:
+    """The request's pipelining tag, validated (``None`` when untagged).
+
+    A malformed tag (non-integer, negative) raises :class:`TransportError`:
+    the client would have no way to match the response, so the session ends
+    rather than wedging on an unmatchable reply.
+    """
+    tag = meta.get("tag")
+    if tag is None:
+        return None
+    if isinstance(tag, bool) or not isinstance(tag, int) or tag < 0:
+        raise TransportError(f"request tag must be a non-negative integer, got {tag!r}")
+    return tag
+
+
+def error_body(
+    exc: BaseException, include_traceback: bool = True, tag: Optional[int] = None
+) -> bytes:
     """An application error as a response frame (session keeps serving)."""
     meta: Dict[str, Any] = {"error": type(exc).__name__, "message": str(exc)}
     if include_traceback:
         meta["traceback"] = traceback.format_exc()
+    if tag is not None:
+        meta["tag"] = tag
     return pack_message("error", meta)
 
 

@@ -19,6 +19,31 @@ interleaving, never the arithmetic.  The assignment model's lazy mode/weight
 cache is pre-warmed after load and after every ingest (while the write lock
 is still held), so reader threads only ever see a fully-built cache.
 
+Micro-batching (PR 7)
+---------------------
+``predict`` requests are routed through a coalescing queue: a batcher thread
+drains up to ``max_batch_rows`` pending rows across *all* sessions (waiting
+at most ``max_batch_delay_ms`` once the first row arrived; the default of 0
+drains whatever is queued, so batches form naturally while the previous
+kernel runs), stacks them, runs ONE engine assignment kernel under ONE read
+lock acquisition, and scatters the per-request label slices back.  Row
+assignment is row-independent, so the batched labels are **bit-identical**
+to per-request predicts — batching changes the overhead, never the answer.
+``max_batch_rows=0`` disables the queue and restores the per-request path.
+
+Replication
+-----------
+With ``replica_of="host:port"`` the server starts as a *read replica*: it
+fetches the primary's full model archive over a ``replicate`` stream, then
+applies one exact delta per primary ingest batch (the primary's raw codes
+and assigned labels, replayed via :meth:`BaseClusterer.replay_ingest` under
+this server's write lock) — so replica reads observe exactly the primary's
+post-batch states, never a torn one.  A replica answers ``predict``/``info``
+and rejects ``ingest``; if the primary goes away it keeps serving its last
+state and resyncs (full archive again) when the primary returns.  On the
+primary side every open ``replicate`` session is a subscriber; a subscriber
+that cannot keep up (bounded queue) is dropped and resyncs on reconnect.
+
 Durability
 ----------
 Snapshots write the model back to disk through ``save_model`` into a
@@ -33,28 +58,33 @@ Ingests acknowledged *after* the last snapshot and before a crash are lost —
 the usual write-behind caveat; lower ``snapshot_every`` to shrink the window.
 
 Shutdown drains gracefully: the listening socket closes first, idle sessions
-notice via the interruptible receive and exit, in-flight requests finish and
-are answered, then the final snapshot lands.
+notice via the interruptible receive and exit, in-flight requests (including
+queued batcher items) finish and are answered, then the final snapshot lands.
 """
 
 from __future__ import annotations
 
 import os
+import queue
 import socket
 import sys
 import tempfile
 import threading
+import time
+from collections import deque
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.base import BaseClusterer
 from repro.distributed.codec import (
     ThreadedFrameServer,
+    pack_compact,
     pack_message,
     parse_address,
+    recv_frame,
     recv_frame_interruptible,
     send_frame,
     unpack_message,
@@ -65,7 +95,10 @@ from repro.serving.protocol import (
     REQUEST_KINDS,
     SERVICE_NAME,
     SERVING_PROTOCOL_VERSION,
+    check_welcome,
     error_body,
+    hello_body,
+    request_tag,
 )
 
 __all__ = ["ReadWriteLock", "ModelServer", "serve_model"]
@@ -118,6 +151,207 @@ class ReadWriteLock:
                 self._cond.notify_all()
 
 
+class _SessionSink:
+    """Per-session reply channel: one send lock, async-reply accounting.
+
+    Responses to *tagged* (pipelined) requests are sent by the batcher
+    thread while the session thread is already receiving the next request,
+    so every send goes through one lock per connection; the outstanding
+    counter lets the session thread wait for its in-flight replies before
+    closing the socket at drain.
+    """
+
+    def __init__(self, conn: socket.socket) -> None:
+        self.conn = conn
+        self._send_lock = threading.Lock()
+        self._cond = threading.Condition()
+        self._outstanding = 0
+        self.dead = False
+
+    def send(self, body: bytes) -> None:
+        with self._send_lock:
+            send_frame(self.conn, body)
+
+    def send_quiet(self, body: bytes) -> None:
+        """Send from a shared thread: a dead session must not raise here."""
+        try:
+            self.send(body)
+        except (TransportError, OSError):
+            self.dead = True
+
+    def begin_async(self) -> None:
+        with self._cond:
+            self._outstanding += 1
+
+    def end_async(self) -> None:
+        with self._cond:
+            self._outstanding -= 1
+            if self._outstanding <= 0:
+                self._cond.notify_all()
+
+    def wait_async_drained(self, timeout: float) -> bool:
+        with self._cond:
+            return self._cond.wait_for(lambda: self._outstanding <= 0, timeout)
+
+
+class _BatchItem:
+    """One pending predict: its rows, and how to deliver the answer."""
+
+    __slots__ = ("codes", "tag", "sink", "event", "labels", "error", "arrived")
+
+    def __init__(
+        self, codes: np.ndarray, tag: Optional[int], sink: Optional[_SessionSink]
+    ) -> None:
+        self.codes = codes
+        self.tag = tag
+        #: Set for pipelined requests: the batcher replies directly.  ``None``
+        #: for strict request/response items: the session thread waits on
+        #: ``event`` and sends the reply itself (preserving response order).
+        self.sink = sink
+        self.event = None if sink is not None else threading.Event()
+        self.labels: Optional[np.ndarray] = None
+        self.error: Optional[BaseException] = None
+        self.arrived = time.monotonic()
+
+    def finish(self) -> None:
+        if self.sink is None:
+            self.event.set()
+            return
+        try:
+            if self.error is not None:
+                body = error_body(self.error, tag=self.tag)
+            else:
+                body = pack_compact(
+                    "labels",
+                    {"tag": self.tag, "n": int(self.labels.shape[0])},
+                    labels=self.labels,
+                )
+            self.sink.send_quiet(body)
+        finally:
+            self.sink.end_async()
+
+
+class _PredictBatcher:
+    """Coalesce predicts across sessions into single engine kernel calls.
+
+    One daemon thread drains the queue: it takes whole items until adding the
+    next one would exceed ``max_rows`` (a single oversized item still runs
+    alone — it is one kernel call anyway), optionally waits
+    ``max_delay_s`` from the first item's arrival for more rows to coalesce,
+    stacks the codes, runs ONE ``model.predict`` under ONE read-lock
+    acquisition, and scatters the label slices back to the items.  At close
+    (server drain) everything still queued is processed and answered before
+    the thread exits; items submitted after close are rejected.
+    """
+
+    def __init__(self, server: "ModelServer", max_rows: int, max_delay_s: float) -> None:
+        self._server = server
+        self.max_rows = max_rows
+        self.max_delay_s = max_delay_s
+        self._cond = threading.Condition()
+        self._items: deque = deque()
+        self._queued_rows = 0
+        self._closing = False
+        self._thread: Optional[threading.Thread] = None
+        # Trajectory counters (exposed through ModelServer.info()).
+        self.batches_run = 0
+        self.rows_run = 0
+        self.largest_batch = 0
+
+    def start(self) -> "_PredictBatcher":
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        return self
+
+    def submit(self, item: _BatchItem) -> None:
+        with self._cond:
+            if self._closing:
+                raise RuntimeError("server is draining; predict not accepted")
+            self._items.append(item)
+            self._queued_rows += item.codes.shape[0]
+            self._cond.notify_all()
+
+    def close(self, timeout: float = 10.0) -> None:
+        with self._cond:
+            self._closing = True
+            self._cond.notify_all()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+
+    def _run(self) -> None:
+        while True:
+            batch = self._next_batch()
+            if batch is None:
+                return
+            self._execute(batch)
+
+    def _next_batch(self) -> Optional[List[_BatchItem]]:
+        with self._cond:
+            while not self._items and not self._closing:
+                self._cond.wait(0.2)
+            if not self._items:
+                return None  # closing and fully drained
+            if self.max_delay_s > 0 and not self._closing:
+                deadline = self._items[0].arrived + self.max_delay_s
+                while self._queued_rows < self.max_rows and not self._closing:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(remaining)
+            batch: List[_BatchItem] = []
+            rows = 0
+            while self._items and (
+                not batch or rows + self._items[0].codes.shape[0] <= self.max_rows
+            ):
+                item = self._items.popleft()
+                self._queued_rows -= item.codes.shape[0]
+                batch.append(item)
+                rows += item.codes.shape[0]
+            return batch
+
+    def _execute(self, batch: List[_BatchItem]) -> None:
+        try:
+            if len(batch) == 1:
+                codes = batch[0].codes
+            else:
+                codes = np.concatenate([item.codes for item in batch], axis=0)
+            # ONE read-lock acquisition, ONE assignment kernel for the whole
+            # coalesced batch; rows are independent, so slicing the labels
+            # back out is bit-identical to per-request predicts.
+            with self._server._lock.read():
+                labels = self._server.model.predict(codes)
+            offset = 0
+            for item in batch:
+                n = item.codes.shape[0]
+                item.labels = labels[offset : offset + n]
+                offset += n
+            self.batches_run += 1
+            self.rows_run += int(codes.shape[0])
+            self.largest_batch = max(self.largest_batch, int(codes.shape[0]))
+        except Exception as exc:  # noqa: BLE001 - delivered per item
+            for item in batch:
+                item.error = exc
+        for item in batch:
+            item.finish()
+
+
+class _Subscriber:
+    """One connected replica: a bounded delta queue on the primary."""
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        self.queue: "queue.Queue" = queue.Queue(maxsize=maxsize)
+        self.broken = False
+
+    def put(self, payload: Tuple[int, np.ndarray, np.ndarray]) -> None:
+        try:
+            self.queue.put_nowait(payload)
+        except queue.Full:
+            # A replica that cannot keep up is dropped; it detects the gap
+            # (or the closed session) and resyncs from the full archive.
+            self.broken = True
+
+
 class ModelServer(ThreadedFrameServer):
     """Serve a fitted clusterer over TCP: concurrent reads, serialized writes.
 
@@ -125,7 +359,8 @@ class ModelServer(ThreadedFrameServer):
     ----------
     model:
         A fitted :class:`BaseClusterer`, or a path to an ``.npz`` archive
-        written by ``save_model`` (loaded once, here).
+        written by ``save_model`` (loaded once, here).  Must be ``None`` when
+        ``replica_of`` is given — a replica's model comes from its primary.
     host, port:
         Listen address; ``port=0`` binds an ephemeral port (read
         :attr:`address` after construction).
@@ -137,22 +372,64 @@ class ModelServer(ThreadedFrameServer):
         Take a snapshot after every N ``ingest`` batches (0 disables).
     snapshot_interval:
         Also snapshot every this-many seconds while dirty (None disables).
+    max_batch_rows:
+        Predict micro-batching: coalesce queued predicts into kernel calls of
+        at most this many rows (0 disables batching entirely).
+    max_batch_delay_ms:
+        Extra milliseconds the batcher may wait from the first queued row to
+        build a fuller batch.  0 (default) drains whatever is queued —
+        batches then form naturally while the previous kernel runs.
+    replica_of:
+        ``"host:port"`` of a primary server: start as a read replica (see
+        module docs).  ``predict``/``info``/``snapshot`` are served,
+        ``ingest`` is rejected.
+    connect_timeout:
+        Replica only: seconds to keep retrying the initial sync connection.
     once:
         Exit ``serve_forever`` when every session accepted so far has
         finished (single-client demos and tests).
     """
 
+    #: Per-session socket timeout: a peer that stops reading its replies (or
+    #: never finishes its handshake) is dropped after this long instead of
+    #: parking a thread — or the batcher — forever.
+    session_send_timeout = 60.0
+
     def __init__(
         self,
-        model: Union[BaseClusterer, str, Path],
+        model: Union[BaseClusterer, str, Path, None],
         host: str = "127.0.0.1",
         port: int = 0,
         *,
         snapshot_path: Union[str, Path, None] = None,
         snapshot_every: int = 0,
         snapshot_interval: Optional[float] = None,
+        max_batch_rows: int = 4096,
+        max_batch_delay_ms: float = 0.0,
+        replica_of: Optional[str] = None,
+        connect_timeout: float = 10.0,
         once: bool = False,
     ) -> None:
+        self.replica_of = replica_of
+        self.replica_seq = -1
+        self._replication_sock: Optional[socket.socket] = None
+        if replica_of is not None:
+            if model is not None:
+                raise ValueError(
+                    "a replica's model comes from its primary: pass model=None "
+                    "with replica_of="
+                )
+            parse_address(replica_of)  # fail fast on a malformed address
+            # Fetch the initial full sync before binding: if the primary is
+            # unreachable the constructor fails instead of listening with no
+            # model to serve.  The stream socket is kept open so no delta
+            # published between sync and serve_forever can be missed.
+            self._replication_sock, model, self.replica_seq = (
+                self._open_replication_stream(connect_timeout)
+            )
+        elif model is None:
+            raise TypeError("ModelServer needs a model (or replica_of=)")
+
         super().__init__(host, port, once=once)
         if isinstance(model, (str, Path)):
             self.model_path: Optional[Path] = Path(model)
@@ -182,11 +459,22 @@ class ModelServer(ThreadedFrameServer):
                 "snapshots are enabled but there is nowhere to write them: "
                 "pass snapshot_path= (or serve from a model file path)"
             )
+        self.max_batch_rows = int(max_batch_rows or 0)
+        if self.max_batch_rows < 0:
+            raise ValueError("max_batch_rows must be >= 0")
+        self.max_batch_delay_ms = float(max_batch_delay_ms or 0.0)
+        if self.max_batch_delay_ms < 0:
+            raise ValueError("max_batch_delay_ms must be >= 0")
+        self.connect_timeout = float(connect_timeout)
 
         self._lock = ReadWriteLock()
         self._snapshot_mutex = threading.Lock()
         self._serve_thread: Optional[threading.Thread] = None
         self._snapshot_thread: Optional[threading.Thread] = None
+        self._replication_thread: Optional[threading.Thread] = None
+        self._batcher: Optional[_PredictBatcher] = None
+        self._subscribers: List[_Subscriber] = []
+        self._subscribers_lock = threading.Lock()
         self.drained = threading.Event()
         self.ingested_batches = 0
         self.ingested_objects = 0
@@ -200,12 +488,41 @@ class ModelServer(ThreadedFrameServer):
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
+    @property
+    def is_replica(self) -> bool:
+        return self.replica_of is not None
+
+    def warm_up(self) -> bool:
+        """Pre-pay every first-request cost: JIT kernels + assignment cache.
+
+        Compiles the numba kernels (no-op without numba) and pushes one probe
+        row through the full predict path, so the first client request never
+        pays JIT or lazy-cache latency.  Returns whether numba is available.
+        """
+        from repro.engine.compiled import warm_up_kernels
+
+        available = warm_up_kernels()
+        assignment = self.model.assignment_model_
+        if assignment is not None:
+            with self._lock.read():
+                self.model.predict(assignment.modes[:1])
+        return available
+
     def serve_forever(self) -> None:
+        if self.max_batch_rows:
+            self._batcher = _PredictBatcher(
+                self, self.max_batch_rows, self.max_batch_delay_ms / 1000.0
+            ).start()
         if self.snapshot_interval is not None:
             self._snapshot_thread = threading.Thread(
                 target=self._periodic_snapshots, daemon=True
             )
             self._snapshot_thread.start()
+        if self.is_replica:
+            self._replication_thread = threading.Thread(
+                target=self._replication_loop, daemon=True
+            )
+            self._replication_thread.start()
         super().serve_forever()
 
     def start(self) -> "ModelServer":
@@ -223,9 +540,18 @@ class ModelServer(ThreadedFrameServer):
         return self.drained.wait(timeout=max(0.0, timeout))
 
     def _on_drained(self) -> None:
-        thread = self._snapshot_thread
-        if thread is not None:
-            thread.join(timeout=5.0)
+        batcher = self._batcher
+        if batcher is not None:
+            batcher.close(timeout=10.0)
+        for thread in (self._snapshot_thread, self._replication_thread):
+            if thread is not None:
+                thread.join(timeout=5.0)
+        sock = self._replication_sock
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
         if self.snapshot_path is not None and self._ingests_since_snapshot:
             try:
                 with self._lock.read():
@@ -247,54 +573,121 @@ class ModelServer(ThreadedFrameServer):
     # Sessions
     # ------------------------------------------------------------------ #
     def handle_session(self, conn: socket.socket) -> None:
+        sink = _SessionSink(conn)
         try:
             body = recv_frame_interruptible(conn, self._closing.is_set)
             if body is None:
                 return  # draining before the handshake arrived
             kind, meta, arrays = unpack_message(body)
             if kind != "hello" or meta.get("service") != SERVICE_NAME:
-                send_frame(conn, error_body(
+                sink.send(error_body(
                     TransportError(f"expected a {SERVICE_NAME} hello, got {kind!r}"),
                     include_traceback=False,
                 ))
                 return
             if meta.get("protocol") != SERVING_PROTOCOL_VERSION:
-                send_frame(conn, error_body(
+                sink.send(error_body(
                     TransportError(
                         f"protocol {meta.get('protocol')!r} != {SERVING_PROTOCOL_VERSION}"
                     ),
                     include_traceback=False,
                 ))
                 return
-            send_frame(conn, pack_message("welcome", self.info()))
-            while True:
+            conn.settimeout(self.session_send_timeout)
+            sink.send(pack_message("welcome", self.info()))
+            while not sink.dead:
                 body = recv_frame_interruptible(conn, self._closing.is_set)
                 if body is None:
                     return  # draining; the client reconnects elsewhere
                 kind, meta, arrays = unpack_message(body)
+                tag = request_tag(meta)  # malformed tag ends the session
                 if kind == "shutdown":
-                    send_frame(conn, pack_message("ok", {"draining": True}))
+                    sink.send(pack_message("ok", {"draining": True}))
                     self.shutdown()
                     return
+                if kind == "replicate":
+                    self._serve_replication(conn, meta)
+                    return
+                if kind == "predict" and self._batcher is not None:
+                    self._submit_predict(sink, arrays, tag)
+                    continue
                 try:
-                    reply = self._dispatch(kind, arrays)
+                    reply = self._dispatch(kind, arrays, tag)
                 except TransportError:
                     raise  # framing/stream integrity broke: end the session
                 except Exception as exc:  # report, keep serving this client
-                    reply = error_body(exc)
-                send_frame(conn, reply)
+                    reply = error_body(exc, tag=tag)
+                sink.send(reply)
         except TransportError:
             pass  # disconnect or malformed frame; the client sees its own error
         except Exception:
             pass  # adversarial payloads must never kill the server
+        finally:
+            # Answer in-flight batched predicts before the socket closes, so
+            # a drain never swallows a request the server already accepted.
+            sink.wait_async_drained(timeout=10.0)
 
-    def _dispatch(self, kind: str, arrays: Dict[str, np.ndarray]) -> bytes:
+    def _submit_predict(
+        self, sink: _SessionSink, arrays: Dict[str, np.ndarray], tag: Optional[int]
+    ) -> None:
+        """Validate and enqueue one predict; replies with an error frame on
+        bad input (batch members must be clean before they are stacked)."""
+        try:
+            codes = np.ascontiguousarray(arrays["codes"], dtype=np.int64)
+            assignment = self.model.assignment_model_
+            if assignment is None:
+                raise RuntimeError("served model has no assignment model")
+            d = assignment.n_features
+            if codes.ndim != 2 or codes.shape[1] != d:
+                raise ValueError(
+                    f"codes must be 2-d with {d} features, got shape {codes.shape}"
+                )
+        except Exception as exc:  # noqa: BLE001 - reported to this client
+            sink.send(error_body(exc, tag=tag))
+            return
+        item = _BatchItem(codes, tag, sink if tag is not None else None)
+        if item.sink is not None:
+            sink.begin_async()
+        try:
+            self._batcher.submit(item)
+        except RuntimeError as exc:  # draining: queue no longer accepts work
+            if item.sink is not None:
+                sink.end_async()
+            sink.send(error_body(exc, tag=tag))
+            return
+        if item.sink is None:
+            # Strict request/response: wait for the batch, reply in order.
+            while not item.event.wait(1.0):
+                thread = self._batcher._thread
+                if thread is not None and not thread.is_alive():
+                    item.error = RuntimeError("predict batcher exited")
+                    break
+            if item.error is not None:
+                sink.send(error_body(item.error, tag=tag))
+            else:
+                sink.send(pack_message(
+                    "labels", {"n": int(item.labels.shape[0])}, labels=item.labels
+                ))
+
+    def _dispatch(
+        self, kind: str, arrays: Dict[str, np.ndarray], tag: Optional[int] = None
+    ) -> bytes:
+        extra = {} if tag is None else {"tag": tag}
         if kind == "predict":
             codes = np.asarray(arrays["codes"], dtype=np.int64)
             with self._lock.read():
                 labels = self.model.predict(codes)
+            if tag is not None:
+                return pack_compact(
+                    "labels", {"tag": tag, "n": int(labels.shape[0])}, labels=labels
+                )
             return pack_message("labels", {"n": int(labels.shape[0])}, labels=labels)
         if kind == "ingest":
+            if self.is_replica:
+                raise RuntimeError(
+                    f"this server is a read replica of {self.replica_of}; "
+                    "ingest on the primary"
+                )
             codes = np.asarray(arrays["codes"], dtype=np.int64)
             with self._lock.write():
                 labels = self.model.ingest(codes)
@@ -303,6 +696,7 @@ class ModelServer(ThreadedFrameServer):
                 self._ingests_since_snapshot += 1
                 # Re-warm the cache before readers come back.
                 _ = self.model.assignment_model_.modes
+                self._publish_delta(codes, labels)
                 snapshot_taken = False
                 if (
                     self.snapshot_every
@@ -312,20 +706,191 @@ class ModelServer(ThreadedFrameServer):
                     snapshot_taken = True
             return pack_message(
                 "labels",
-                {"n": int(labels.shape[0]), "snapshot_taken": snapshot_taken},
+                {"n": int(labels.shape[0]), "snapshot_taken": snapshot_taken, **extra},
                 labels=labels,
             )
         if kind == "info":
             with self._lock.read():
-                return pack_message("info", self.info())
+                return pack_message("info", {**self.info(), **extra})
         if kind == "snapshot":
             with self._lock.read():
                 path = self._write_snapshot()
-            return pack_message("snapshot", {"path": str(path)})
+            return pack_message("snapshot", {"path": str(path), **extra})
         raise ValueError(
             f"unknown request kind {kind!r}; this server speaks "
             + ", ".join(REQUEST_KINDS)
         )
+
+    # ------------------------------------------------------------------ #
+    # Replication: primary side (publish) and replica side (apply)
+    # ------------------------------------------------------------------ #
+    def _publish_delta(self, codes: np.ndarray, labels: np.ndarray) -> None:
+        """Fan one applied ingest batch out to subscribers (write lock held)."""
+        if not self._subscribers:
+            return
+        payload = (self.ingested_batches, codes, labels)
+        with self._subscribers_lock:
+            for subscriber in self._subscribers:
+                subscriber.put(payload)
+
+    def _model_archive_bytes(self) -> bytes:
+        """The current model as ``.npz`` archive bytes (caller holds a lock)."""
+        fd, tmp = tempfile.mkstemp(prefix="repro-sync-", suffix=".npz")
+        os.close(fd)
+        try:
+            save_model(self.model, tmp)
+            with open(tmp, "rb") as handle:
+                return handle.read()
+        finally:
+            try:
+                os.unlink(tmp)
+            except OSError:  # pragma: no cover
+                pass
+
+    def _serve_replication(self, conn: socket.socket, meta: Dict[str, Any]) -> None:
+        """Turn this session into a one-way sync + delta stream (primary)."""
+        subscriber = _Subscriber()
+        # The write lock makes (archive, seq, registration) atomic against a
+        # racing ingest: every batch is either in the shipped archive or in
+        # the subscriber's queue, never both, never neither.
+        with self._lock.write():
+            archive = self._model_archive_bytes()
+            seq = self.ingested_batches
+            with self._subscribers_lock:
+                self._subscribers.append(subscriber)
+        try:
+            send_frame(conn, pack_message(
+                "sync", {"seq": seq},
+                archive=np.frombuffer(archive, dtype=np.uint8),
+            ))
+            while not self._closing.is_set() and not subscriber.broken:
+                try:
+                    delta_seq, codes, labels = subscriber.queue.get(timeout=0.2)
+                except queue.Empty:
+                    continue
+                send_frame(conn, pack_message(
+                    "delta", {"seq": delta_seq}, codes=codes, labels=labels
+                ))
+        except (TransportError, OSError):
+            pass  # replica went away; it resyncs on reconnect
+        finally:
+            with self._subscribers_lock:
+                if subscriber in self._subscribers:
+                    self._subscribers.remove(subscriber)
+
+    def _open_replication_stream(
+        self, timeout: float
+    ) -> Tuple[socket.socket, BaseClusterer, int]:
+        """Connect to the primary and fetch the full sync (replica side)."""
+        host, port = parse_address(self.replica_of)
+        # The constructor runs the initial sync before super().__init__, so
+        # there is no _closing event yet; reconnects have one and use it to
+        # abort promptly on drain.
+        closing = getattr(self, "_closing", None)
+        deadline = time.monotonic() + timeout
+        attempt = 0
+        while True:
+            if closing is not None and closing.is_set():
+                raise TransportError("server is draining")
+            try:
+                sock = socket.create_connection(
+                    (host, port), timeout=max(0.1, deadline - time.monotonic())
+                )
+                break
+            except OSError as exc:
+                delay = min(0.1 * (2 ** attempt), 2.0)
+                attempt += 1
+                if time.monotonic() + delay >= deadline:
+                    raise TransportError(
+                        f"cannot reach primary at {self.replica_of}: {exc}"
+                    ) from exc
+                if closing is not None:
+                    if closing.wait(delay):
+                        raise TransportError("server is draining")
+                else:
+                    time.sleep(delay)
+        try:
+            sock.settimeout(60.0)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            send_frame(sock, hello_body())
+            kind, meta, _ = unpack_message(recv_frame(sock))
+            check_welcome(kind, meta, self.replica_of)
+            send_frame(sock, pack_message("replicate", {"seq": -1}))
+            kind, meta, arrays = unpack_message(recv_frame(sock))
+            if kind != "sync":
+                raise TransportError(
+                    f"primary at {self.replica_of} answered replicate with {kind!r}"
+                )
+            model = self._load_archive_bytes(arrays["archive"].tobytes())
+            sock.settimeout(None)
+            return sock, model, int(meta["seq"])
+        except BaseException:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+            raise
+
+    @staticmethod
+    def _load_archive_bytes(archive: bytes) -> BaseClusterer:
+        fd, tmp = tempfile.mkstemp(prefix="repro-replica-", suffix=".npz")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(archive)
+            return load_model(tmp)
+        finally:
+            try:
+                os.unlink(tmp)
+            except OSError:  # pragma: no cover
+                pass
+
+    def _replication_loop(self) -> None:
+        """Replica: apply the primary's delta stream; resync on any break."""
+        sock = self._replication_sock
+        self._replication_sock = None
+        while not self._closing.is_set():
+            try:
+                if sock is None:
+                    sock, model, seq = self._open_replication_stream(self.connect_timeout)
+                    with self._lock.write():
+                        self.model = model
+                        self.replica_seq = seq
+                        if model.assignment_model_ is not None:
+                            _ = model.assignment_model_.modes
+                body = recv_frame_interruptible(sock, self._closing.is_set)
+                if body is None:
+                    break  # draining
+                kind, meta, arrays = unpack_message(body)
+                if kind != "delta":
+                    raise TransportError(
+                        f"replication stream sent {kind!r}, expected 'delta'"
+                    )
+                seq = int(meta["seq"])
+                if seq != self.replica_seq + 1:
+                    raise TransportError(
+                        f"replication gap: have {self.replica_seq}, got {seq}"
+                    )
+                with self._lock.write():
+                    self.model.replay_ingest(arrays["codes"], arrays["labels"])
+                    # Readers must only ever see a fully-built cache.
+                    _ = self.model.assignment_model_.modes
+                    self.replica_seq = seq
+            except (TransportError, OSError, KeyError, ValueError):
+                # Primary gone or stream corrupt: keep serving the last good
+                # state, retry with a full resync until drained.
+                if sock is not None:
+                    try:
+                        sock.close()
+                    except OSError:  # pragma: no cover
+                        pass
+                    sock = None
+                if self._closing.wait(0.5):
+                    break
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
 
     # ------------------------------------------------------------------ #
     # State
@@ -333,9 +898,11 @@ class ModelServer(ThreadedFrameServer):
     def info(self) -> Dict[str, Any]:
         """JSON-serialisable server/model facts (the welcome/info meta)."""
         assignment = self.model.assignment_model_
+        batcher = self._batcher
         return {
             "protocol": SERVING_PROTOCOL_VERSION,
             "service": SERVICE_NAME,
+            "role": "replica" if self.is_replica else "primary",
             "clusterer": type(self.model).__name__,
             "n_clusters": int(self.model.n_clusters_),
             "n_features": None if assignment is None else int(assignment.n_features),
@@ -345,6 +912,14 @@ class ModelServer(ThreadedFrameServer):
             "snapshots_taken": int(self.snapshots_taken),
             "snapshot_path": None if self.snapshot_path is None else str(self.snapshot_path),
             "model_path": None if self.model_path is None else str(self.model_path),
+            "max_batch_rows": int(self.max_batch_rows),
+            "max_batch_delay_ms": float(self.max_batch_delay_ms),
+            "predict_batches": 0 if batcher is None else int(batcher.batches_run),
+            "predict_rows_batched": 0 if batcher is None else int(batcher.rows_run),
+            "largest_predict_batch": 0 if batcher is None else int(batcher.largest_batch),
+            "replica_of": self.replica_of,
+            "replica_seq": int(self.replica_seq),
+            "replicas_connected": len(self._subscribers),
         }
 
     def _write_snapshot(self) -> Path:
@@ -376,7 +951,7 @@ class ModelServer(ThreadedFrameServer):
 
 
 def serve_model(
-    model: Union[BaseClusterer, str, Path],
+    model: Union[BaseClusterer, str, Path, None],
     listen: str = "127.0.0.1:0",
     **kwargs: Any,
 ) -> ModelServer:
