@@ -99,9 +99,14 @@ def validate_entry(entry: Any) -> List[str]:
     for field in ("n", "d", "k", "cpu_count"):
         if field in entry and not isinstance(entry[field], int):
             problems.append(f"{field!r} must be an integer, got {entry[field]!r}")
-    for field in ("wall_seconds", "throughput_objects_per_s", "speedup"):
+    for field in ("wall_seconds", "throughput_objects_per_s", "speedup", "recovery_seconds"):
         if field in entry and not isinstance(entry[field], (int, float)):
             problems.append(f"{field!r} must be a number, got {entry[field]!r}")
+    if "recovery_seconds" in entry and isinstance(entry["recovery_seconds"], (int, float)):
+        if entry["recovery_seconds"] < 0:
+            problems.append(
+                f"'recovery_seconds' must be >= 0, got {entry['recovery_seconds']!r}"
+            )
     if "commit" in entry and not isinstance(entry["commit"], str):
         problems.append(f"'commit' must be a string, got {entry['commit']!r}")
     for key, value in entry.items():

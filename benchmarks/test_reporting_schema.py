@@ -74,3 +74,10 @@ def test_validator_rejects_malformed_entries():
         {"bench": "b", "recorded_at": "2026-08-08T00:00:00Z",
          "wall_seconds": 1.0, "commit": "abc1234"}
     ) == []
+
+
+def test_validator_checks_recovery_seconds():
+    base = {"bench": "b", "recorded_at": "2026-08-08T00:00:00Z"}
+    assert reporting.validate_entry({**base, "recovery_seconds": 0.004}) == []
+    assert reporting.validate_entry({**base, "recovery_seconds": -0.1}) != []
+    assert reporting.validate_entry({**base, "recovery_seconds": "fast"}) != []

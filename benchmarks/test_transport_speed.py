@@ -188,6 +188,84 @@ def test_shm_beats_process_per_fit(benchmark):
     )
 
 
+def test_tcp_worker_recovery_time(benchmark):
+    """Wall-clock cost of losing a worker mid-fit (SIGKILL, no goodbye).
+
+    A subprocess worker holds one shard; it is killed between two sweeps and
+    the resilient executor must re-place the shard on a surviving in-process
+    worker and finish with bit-identical results.  The recorded
+    ``recovery_seconds`` (detect + reconnect + replay) is the runtime's
+    MTTR for one shard at this scale and lands in ``BENCH_transport.json``.
+    """
+    import re
+    import subprocess
+    import sys
+
+    ds = make_categorical_clusters(
+        n_objects=4_000, n_features=10, n_clusters=4, n_categories=5,
+        purity=0.8, random_state=11, name="recovery",
+    )
+    codes, cats = ds.codes, list(ds.n_categories)
+    k, d = 6, codes.shape[1]
+    rng = np.random.default_rng(0)
+    labels = rng.integers(0, k, size=codes.shape[0]).astype(np.int64)
+
+    def victim_worker():
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker", "--listen", "127.0.0.1:0"],
+            stdout=subprocess.PIPE, text=True,
+            env=dict(os.environ, PYTHONUNBUFFERED="1"),
+        )
+        match = re.search(r"listening on (\S+)", process.stdout.readline())
+        assert match, "worker did not announce its address"
+        return process, match.group(1)
+
+    def killed_fit():
+        with local_worker_pool(2) as survivors:
+            process, doomed = victim_worker()
+            try:
+                with make_executor(
+                    "tcp", codes, cats, shards=3,
+                    hosts=[doomed] + list(survivors), max_retries=2,
+                ) as executor:
+                    _run_sweeps(executor, labels, k, d)
+                    process.kill()
+                    process.wait(timeout=10)
+                    outcome = _run_sweeps(executor, labels, k, d)
+                    assert executor.recovery_events, "no recovery happened"
+                    return outcome, executor.recovery_events[0]
+            finally:
+                if process.poll() is None:
+                    process.kill()
+                process.wait(timeout=10)
+
+    start = time.perf_counter()
+    outcome, event = benchmark.pedantic(killed_fit, iterations=1, rounds=1)
+    wall = time.perf_counter() - start
+
+    with make_executor("serial", codes, cats, shards=3) as reference:
+        expected = _run_sweeps(reference, labels, k, d)
+        expected = _run_sweeps(reference, labels, k, d)
+    np.testing.assert_array_equal(outcome.labels, expected.labels)
+
+    benchmark.extra_info["recovery_seconds"] = event["recovery_seconds"]
+    benchmark.extra_info["recovery_attempts"] = event["attempts"]
+    reporting.record(
+        "transport",
+        "tcp_worker_recovery",
+        n=codes.shape[0],
+        d=d,
+        k=k,
+        wall_seconds=wall,
+        recovery_seconds=event["recovery_seconds"],
+        recovery_attempts=event["attempts"],
+        recovery_method=event["method"],
+        cache_status=event["cache_status"],
+        n_shards=3,
+    )
+    assert event["recovery_seconds"] >= 0
+
+
 def test_tcp_handshake_ships_codes_once(benchmark):
     """Connect cost is one codes shipment; sweeps move only O(k*M) counts."""
     ds = make_categorical_clusters(

@@ -219,6 +219,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit after serving one coordinator session (single-fit demos; "
         "note an MCDC fit opens several sessions — leave workers persistent)",
     )
+    worker.add_argument(
+        "--shard-cache", default=None, metavar="DIR",
+        help="content-addressed shard cache directory: shards this worker has "
+        "seen before (or that another worker cached here) handshake with zero "
+        "payload bytes — also what makes post-crash shard re-placement cheap",
+    )
 
     subparsers.add_parser(
         "methods", help="list the registered clusterers and executor backends"
@@ -236,14 +242,45 @@ def _add_backend_options(sub: argparse.ArgumentParser) -> None:
         "--workers", default=None, metavar="HOST:PORT,...",
         help="comma-separated worker addresses (required with --backend tcp)",
     )
+    sub.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="reconnect attempts per failed shard call before giving up "
+        "(--backend tcp; default 2)",
+    )
+    sub.add_argument(
+        "--heartbeat-interval", type=float, default=None, metavar="SECONDS",
+        help="probe worker liveness every SECONDS on a background thread; dead "
+        "hosts leave the re-placement candidate set until a probe succeeds "
+        "again (--backend tcp; default: off)",
+    )
+    sub.add_argument(
+        "--shard-cache", default=None, metavar="DIR",
+        help="content-addressed shard cache directory on the coordinator side; "
+        "workers that share it (repro worker --shard-cache DIR) handshake "
+        "with zero payload bytes on re-fits of the same data (--backend tcp)",
+    )
 
 
 def _resolve_backend_args(args: argparse.Namespace):
-    """Validate --backend/--workers; returns (backend, hosts) or (None, None)."""
-    if args.workers is not None and args.backend is None:
-        raise SystemExit("--workers requires --backend tcp")
+    """Validate backend flags; returns (backend, hosts, backend_options).
+
+    ``backend_options`` carries the tcp resilience knobs (--max-retries,
+    --heartbeat-interval, --shard-cache) validated against the backend's
+    registered option names; it is ``{}`` when none were passed.
+    """
+    flag_options = {
+        "max_retries": ("--max-retries", args.max_retries),
+        "heartbeat_interval": ("--heartbeat-interval", args.heartbeat_interval),
+        "shard_cache": ("--shard-cache", args.shard_cache),
+    }
+    passed = {k: v for k, (_, v) in flag_options.items() if v is not None}
     if args.backend is None:
-        return None, None
+        if args.workers is not None:
+            raise SystemExit("--workers requires --backend tcp")
+        if passed:
+            flags = ", ".join(flag_options[k][0] for k in sorted(passed))
+            raise SystemExit(f"{flags} requires --backend (e.g. --backend tcp)")
+        return None, None, {}
     from repro.distributed.transport import available_backends, get_backend_spec
 
     try:
@@ -266,7 +303,17 @@ def _resolve_backend_args(args: argparse.Namespace):
             raise SystemExit("--workers must list at least one HOST:PORT address")
     if "hosts" in spec.options and hosts is None:
         raise SystemExit(f"--backend {backend} requires --workers HOST:PORT,...")
-    return backend, hosts
+    for key in sorted(passed):
+        if key not in spec.options:
+            raise SystemExit(
+                f"backend {backend!r} does not take {flag_options[key][0]} "
+                "(only the tcp backend does)"
+            )
+    if "max_retries" in passed and passed["max_retries"] < 0:
+        raise SystemExit("--max-retries must be >= 0")
+    if "heartbeat_interval" in passed and passed["heartbeat_interval"] <= 0:
+        raise SystemExit("--heartbeat-interval must be > 0 seconds")
+    return backend, hosts, passed
 
 
 def _add_csv_options(sub: argparse.ArgumentParser) -> None:
@@ -309,7 +356,7 @@ def _resolve_config(args: argparse.Namespace):
         overrides["random_state"] = args.seed
     if args.datasets is not None:
         overrides["datasets"] = tuple(args.datasets)
-    backend, hosts = _resolve_backend_args(args)
+    backend, hosts, backend_options = _resolve_backend_args(args)
     if backend is not None:
         # These artefacts route method construction through
         # route_through_backend (repro.experiments.runner), which is what
@@ -323,6 +370,8 @@ def _resolve_config(args: argparse.Namespace):
             )
         overrides["backend"] = backend
         overrides["hosts"] = tuple(hosts) if hosts else ()
+        if backend_options:
+            overrides["backend_options"] = tuple(sorted(backend_options.items()))
         # Only the MCDC family has a sharded variant; say so once up front
         # rather than letting a --backend tcp run look fully distributed.
         print(
@@ -461,11 +510,13 @@ def _fit(args: argparse.Namespace) -> int:
     params = dict(_parse_override(item) for item in args.params)
     params.setdefault("n_clusters", n_clusters)
     params.setdefault("random_state", args.seed)
-    backend, hosts = _resolve_backend_args(args)
+    backend, hosts, backend_options = _resolve_backend_args(args)
     if backend is not None:
         params["backend"] = backend
         if hosts is not None:
             params["hosts"] = hosts
+        if backend_options:
+            params["backend_options"] = backend_options
     try:
         model = _construct_cli_model(args, params, backend)
     except ValueError as exc:
@@ -625,7 +676,7 @@ def _worker(args: argparse.Namespace) -> int:
         host, port = parse_address(args.listen)
     except ValueError as exc:
         raise SystemExit(str(exc))
-    server = WorkerServer(host, port, once=args.once)
+    server = WorkerServer(host, port, once=args.once, shard_cache=args.shard_cache)
     # The resolved address (port 0 -> ephemeral) goes out first and flushed,
     # so launchers can scrape it and build their --workers list.
     print(f"repro worker listening on {server.address}", flush=True)

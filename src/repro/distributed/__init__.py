@@ -23,6 +23,12 @@ what the pre-partitioning preserves (locality, balance, consistency).
 
 from repro.distributed.node import ComputeNode, NodePool, make_node_pool
 from repro.distributed.partitioner import MultiGranularPartitioner, PartitionPlan
+from repro.distributed.resilience import (
+    HeartbeatMonitor,
+    ResilientTCPExecutor,
+    RetryPolicy,
+    measured_node_pool,
+)
 from repro.distributed.runtime import (
     ShardedCAME,
     ShardedCoordinator,
@@ -30,8 +36,10 @@ from repro.distributed.runtime import (
     ShardedMCDCEncoder,
     ShardedMGCPL,
 )
+from repro.distributed.shardcache import ShardCache, shard_content_key
 from repro.distributed.shm import ShmExecutor
 from repro.distributed.transport import (
+    RemoteWorkerError,
     ShardExecutor,
     ShardTransport,
     TransportError,
@@ -63,8 +71,15 @@ __all__ = [
     "ShardedMCDCEncoder",
     "ShardExecutor",
     "ShardTransport",
+    "ShardCache",
+    "shard_content_key",
     "ShmExecutor",
+    "HeartbeatMonitor",
+    "ResilientTCPExecutor",
+    "RetryPolicy",
+    "measured_node_pool",
     "TransportError",
+    "RemoteWorkerError",
     "available_backends",
     "make_executor",
     "register_backend",

@@ -23,9 +23,15 @@ so the codec now lives here, shared by both servers:
   ``PK``), so every consumer keeps one decode entry point and fuzzed compact
   bodies fail with :class:`TransportError` like fuzzed archives do.
 * :func:`send_frame` / :func:`recv_frame` — the length-prefixed framing with
-  a :data:`MAX_FRAME` cap enforced on *both* send and receive, so a corrupt
-  length prefix can never turn into a multi-exabyte allocation and an
-  oversized send fails at the sender with the real diagnosis.
+  a frame-size cap enforced on *both* send and receive, so a corrupt length
+  prefix can never turn into a multi-exabyte allocation and an oversized send
+  fails at the sender with the real diagnosis.  The cap defaults to
+  :data:`MAX_FRAME` (1 GiB) but is configurable: per call via the
+  ``max_frame`` argument, or fleet-wide via the ``REPRO_MAX_FRAME``
+  environment variable (see :func:`frame_cap`).  The default connect and
+  per-operation socket timeouts are likewise configurable through
+  ``REPRO_CONNECT_TIMEOUT`` / ``REPRO_IO_TIMEOUT``
+  (:func:`default_connect_timeout` / :func:`default_io_timeout`).
   :func:`recv_frame_interruptible` is the drain-aware variant used by
   long-lived servers: it polls for the frame's first byte so an idle session
   can notice a shutdown request instead of blocking in ``recv`` forever.
@@ -41,6 +47,7 @@ from __future__ import annotations
 
 import io
 import json
+import os
 import socket
 import struct
 import threading
@@ -53,6 +60,9 @@ from repro.distributed.transport import TransportError
 __all__ = [
     "MAX_FRAME",
     "COMPACT_MAGIC",
+    "frame_cap",
+    "default_connect_timeout",
+    "default_io_timeout",
     "pack_message",
     "pack_compact",
     "unpack_message",
@@ -66,9 +76,60 @@ __all__ = [
 #: Frame header: one unsigned 64-bit big-endian body length.
 _LEN = struct.Struct(">Q")
 
-#: Sanity cap on a single frame (1 GiB) — a corrupt length prefix must not
-#: turn into an attempted multi-exabyte allocation.
+#: Default sanity cap on a single frame (1 GiB) — a corrupt length prefix
+#: must not turn into an attempted multi-exabyte allocation.  The effective
+#: cap is :func:`frame_cap` (``REPRO_MAX_FRAME`` overrides this constant).
 MAX_FRAME = 1 << 30
+
+
+def _positive_number_env(name: str, kind: type) -> Optional[float]:
+    """Parse a positive-number environment override; ``None`` when unset."""
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        value = kind(raw)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be a positive {kind.__name__}, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {raw!r}")
+    return value
+
+
+def frame_cap() -> int:
+    """The effective per-frame byte cap.
+
+    ``REPRO_MAX_FRAME`` (a positive integer, validated) overrides the
+    :data:`MAX_FRAME` default, so deployments shipping very large shards —
+    or hardening against them — can retune every sender and receiver without
+    code changes.  Callers can still override per call through the
+    ``max_frame`` argument of :func:`send_frame` / :func:`recv_frame`.
+    """
+    env = _positive_number_env("REPRO_MAX_FRAME", int)
+    return MAX_FRAME if env is None else int(env)
+
+
+def default_connect_timeout() -> float:
+    """Default connect/handshake timeout in seconds (``REPRO_CONNECT_TIMEOUT``).
+
+    Used by every codec consumer that dials out (the TCP shard transports,
+    the serving client and router) when no explicit ``connect_timeout`` is
+    passed.  Defaults to 10 seconds.
+    """
+    env = _positive_number_env("REPRO_CONNECT_TIMEOUT", float)
+    return 10.0 if env is None else float(env)
+
+
+def default_io_timeout() -> Optional[float]:
+    """Default per-operation socket timeout (``REPRO_IO_TIMEOUT``; ``None`` blocks).
+
+    Unset means block indefinitely — a sweep or predict on a large batch
+    legitimately takes a while — but fleets that prefer failing fast over
+    waiting on a wedged peer can arm a global receive deadline here.
+    """
+    return _positive_number_env("REPRO_IO_TIMEOUT", float)
 
 
 def parse_address(address: str) -> Tuple[str, int]:
@@ -237,14 +298,15 @@ def unpack_message(body: bytes) -> Tuple[str, Dict[str, Any], Dict[str, np.ndarr
     return kind, meta, arrays
 
 
-def send_frame(sock: socket.socket, body: bytes) -> None:
-    if len(body) > MAX_FRAME:
+def send_frame(sock: socket.socket, body: bytes, max_frame: Optional[int] = None) -> None:
+    cap = frame_cap() if max_frame is None else int(max_frame)
+    if len(body) > cap:
         # Enforced on both ends: failing here names the real problem instead
         # of the receiver dropping the connection and the sender reporting a
         # phantom worker death.
         raise TransportError(
-            f"frame of {len(body)} bytes exceeds the {MAX_FRAME} cap; "
-            "use more (smaller) shards"
+            f"frame of {len(body)} bytes exceeds the {cap} cap; "
+            "use more (smaller) shards, or raise REPRO_MAX_FRAME"
         )
     try:
         sock.sendall(_LEN.pack(len(body)) + body)
@@ -269,15 +331,16 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
     return b"".join(chunks)
 
 
-def _checked_length(header: bytes) -> int:
+def _checked_length(header: bytes, max_frame: Optional[int] = None) -> int:
+    cap = frame_cap() if max_frame is None else int(max_frame)
     (length,) = _LEN.unpack(header)
-    if length > MAX_FRAME:
-        raise TransportError(f"frame of {length} bytes exceeds the {MAX_FRAME} cap")
+    if length > cap:
+        raise TransportError(f"frame of {length} bytes exceeds the {cap} cap")
     return int(length)
 
 
-def recv_frame(sock: socket.socket) -> bytes:
-    return _recv_exact(sock, _checked_length(_recv_exact(sock, _LEN.size)))
+def recv_frame(sock: socket.socket, max_frame: Optional[int] = None) -> bytes:
+    return _recv_exact(sock, _checked_length(_recv_exact(sock, _LEN.size), max_frame))
 
 
 def _recv_exact_interruptible(
@@ -306,6 +369,7 @@ def recv_frame_interruptible(
     sock: socket.socket,
     stop_requested: Callable[[], bool],
     poll_interval: float = 0.2,
+    max_frame: Optional[int] = None,
 ) -> Optional[bytes]:
     """Like :func:`recv_frame`, but returns ``None`` once shutdown is requested.
 
@@ -323,7 +387,9 @@ def recv_frame_interruptible(
         header = _recv_exact_interruptible(sock, _LEN.size, stop_requested)
         if header is None:
             return None
-        return _recv_exact_interruptible(sock, _checked_length(header), stop_requested)
+        return _recv_exact_interruptible(
+            sock, _checked_length(header, max_frame), stop_requested
+        )
     finally:
         try:
             sock.settimeout(previous_timeout)

@@ -29,15 +29,32 @@ never a hang — and a malformed frame (fuzzed bytes, truncated archive, a
 corrupt length prefix) ends the session cleanly on the worker.  The protocol
 is trusted-network plumbing: no authentication or encryption; run it on
 cluster-internal interfaces only.
+
+Protocol v2 (this module) extends the v1 handshake for the resilience layer
+(:mod:`repro.distributed.resilience`):
+
+* every shard ``hello`` carries the shard's *content key*
+  (:func:`repro.distributed.shardcache.shard_content_key`); a **cache-first**
+  hello omits the codes entirely, and the worker either restores the shard
+  from its content-addressed cache (``repro worker --shard-cache DIR``) and
+  welcomes directly — zero payload bytes shipped — or asks with a
+  ``need_codes`` frame, after which the coordinator ships a ``codes`` frame;
+* ``hello`` with ``mode="ping"`` opens a *liveness session* with no shard at
+  all — :func:`ping_host` and the heartbeat monitor use it to probe worker
+  health without touching shard state;
+* every reply carries the worker-side wall time of the call (``elapsed`` in
+  the reply meta), which is what drives measured epoch-boundary rebalancing.
 """
 
 from __future__ import annotations
 
 import socket
 import threading
+import time
 import traceback
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -45,17 +62,20 @@ from repro.core.sync import ShardUpdate, ShardWorker, SweepBroadcast
 from repro.distributed.codec import (
     MAX_FRAME,
     ThreadedFrameServer,
+    default_connect_timeout,
+    default_io_timeout,
     pack_message,
     parse_address,
     recv_frame,
     send_frame,
     unpack_message,
 )
+from repro.distributed.shardcache import ShardCache, shard_content_key
 from repro.distributed.transport import (
+    RemoteWorkerError,
     TransportError,
     TransportExecutor,
     close_all,
-    register_backend,
 )
 from repro.engine import EngineState
 
@@ -66,6 +86,7 @@ __all__ = [
     "WorkerServer",
     "serve_worker",
     "local_worker_pool",
+    "ping_host",
     "parse_address",
     "pack_message",
     "unpack_message",
@@ -73,7 +94,7 @@ __all__ = [
     "recv_frame",
 ]
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
 #: Backwards-compatible alias; the cap itself lives in the shared codec.
 _MAX_FRAME = MAX_FRAME
@@ -154,14 +175,21 @@ def decode_request(meta: Dict[str, Any], arrays: Dict[str, np.ndarray]) -> Tuple
     raise TransportError(f"unknown shard method {method!r}")
 
 
-def encode_result(result: Any) -> bytes:
-    """A shard method's return value as a frame body."""
+def encode_result(result: Any, meta: Optional[Dict[str, Any]] = None) -> bytes:
+    """A shard method's return value as a frame body.
+
+    ``meta`` lets the worker attach side-channel facts to any reply — the
+    v2 protocol uses it for ``elapsed`` (worker-side wall seconds of the
+    call), which the coordinator's rebalancer reads without the estimators
+    ever seeing it.
+    """
+    meta = dict(meta or {})
     if isinstance(result, EngineState):
-        return pack_message("state", **_state_arrays(result, "state_"))
+        return pack_message("state", meta, **_state_arrays(result, "state_"))
     if isinstance(result, ShardUpdate):
         return pack_message(
             "update",
-            {"changed": bool(result.changed)},
+            {"changed": bool(result.changed), **meta},
             labels=result.labels,
             win_counts=result.win_counts,
             win_gain=result.win_gain,
@@ -171,9 +199,9 @@ def encode_result(result: Any) -> bytes:
             **_state_arrays(result.state, "state_"),
         )
     if isinstance(result, np.ndarray):
-        return pack_message("array", array=result)
+        return pack_message("array", meta, array=result)
     if isinstance(result, (int, np.integer)):
-        return pack_message("scalar", {"value": int(result)})
+        return pack_message("scalar", {"value": int(result), **meta})
     raise TransportError(f"cannot encode worker result of type {type(result).__name__}")
 
 
@@ -196,7 +224,9 @@ def decode_result(kind: str, meta: Dict[str, Any], arrays: Dict[str, np.ndarray]
     if kind == "scalar":
         return int(meta["value"])
     if kind == "error":
-        raise TransportError(
+        # RemoteWorkerError: the channel is healthy, the *application* raised.
+        # The resilience layer must not treat this as a dead worker.
+        raise RemoteWorkerError(
             f"worker raised {meta.get('error', 'an exception')}: {meta.get('message', '')}"
             + ("\n--- worker traceback ---\n" + meta["traceback"] if meta.get("traceback") else "")
         )
@@ -206,14 +236,80 @@ def decode_result(kind: str, meta: Dict[str, Any], arrays: Dict[str, np.ndarray]
 # ---------------------------------------------------------------------- #
 # Worker side
 # ---------------------------------------------------------------------- #
-def _serve_session(conn: socket.socket) -> None:
+def _serve_ping_session(conn: socket.socket) -> None:
+    """A liveness-only session: no shard, answers ``ping`` until closed."""
+    send_frame(conn, pack_message("welcome", {
+        "protocol": PROTOCOL_VERSION, "mode": "ping",
+    }))
+    while True:
+        try:
+            body = recv_frame(conn)
+        except TransportError:
+            return
+        method, _ = decode_request(*unpack_message(body)[1:])
+        if method in ("ping", "shutdown"):
+            send_frame(conn, pack_message("scalar", {"value": 1}))
+            if method == "shutdown":
+                return
+        else:
+            send_frame(conn, pack_message("error", {
+                "error": "ProtocolError",
+                "message": f"a ping session hosts no shard; cannot run {method!r}",
+            }))
+
+
+def _receive_shard(
+    conn: socket.socket,
+    meta: Dict[str, Any],
+    arrays: Dict[str, np.ndarray],
+    shard_cache: Optional[ShardCache],
+) -> Optional[Tuple[np.ndarray, List[int], str]]:
+    """Resolve the hello into the shard payload: shipped, cached, or asked for.
+
+    Returns ``(codes, n_categories, cache_status)`` or ``None`` if the
+    coordinator disappeared mid-handshake.  ``cache_status`` lands in the
+    welcome so the coordinator's transport counters can attribute the
+    handshake to a hit, a miss, or a plain ship.
+    """
+    content_key = meta.get("content_key")
+    if "codes" in arrays:
+        codes = arrays["codes"]
+        ncat = [int(m) for m in arrays["ncat"]]
+        if shard_cache is not None and content_key:
+            shard_cache.put(content_key, codes, ncat)
+        return codes, ncat, "shipped"
+    # Cache-first hello: no payload; restore from the cache or ask for it.
+    cached = shard_cache.get(content_key) if (shard_cache and content_key) else None
+    if cached is not None:
+        codes, ncat = cached
+        return codes, ncat, "hit"
+    send_frame(conn, pack_message("need_codes", {"content_key": content_key}))
+    try:
+        kind, _, codes_arrays = unpack_message(recv_frame(conn))
+    except TransportError:
+        return None  # coordinator went away mid-handshake
+    if kind != "codes" or "codes" not in codes_arrays:
+        send_frame(conn, pack_message("error", {
+            "error": "ProtocolError", "message": f"expected codes, got {kind!r}",
+        }))
+        return None
+    codes = codes_arrays["codes"]
+    ncat = [int(m) for m in codes_arrays["ncat"]]
+    if shard_cache is not None and content_key:
+        shard_cache.put(content_key, codes, ncat)
+    return codes, ncat, "miss"
+
+
+def _serve_session(conn: socket.socket, shard_cache: Optional[ShardCache] = None) -> None:
     """One coordinator connection: handshake, then a shard-call loop.
 
-    The coordinator ships the shard's codes exactly once (in the ``hello``
-    frame); afterwards every request is a small method payload against the
-    resident :class:`ShardWorker`.  Worker-side exceptions are reported back
-    as ``error`` frames so the coordinator can re-raise them; transport-level
-    failures end the session.
+    The handshake resolves the shard payload exactly once per session — from
+    the ``hello`` itself, from the worker-side content-addressed cache, or
+    via a ``need_codes`` round-trip — after which every request is a small
+    method payload against the resident :class:`ShardWorker`.  Every reply
+    carries the call's worker-side wall time (``elapsed``).  Worker-side
+    exceptions are reported back as ``error`` frames so the coordinator can
+    re-raise them; transport-level failures end the session.
     """
     try:
         kind, meta, arrays = unpack_message(recv_frame(conn))
@@ -228,13 +324,18 @@ def _serve_session(conn: socket.socket) -> None:
                 "message": f"protocol {meta.get('protocol')!r} != {PROTOCOL_VERSION}",
             }))
             return
-        worker = ShardWorker(
-            arrays["codes"],
-            [int(m) for m in arrays["ncat"]],
-            engine=str(meta.get("engine", "auto")),
-        )
+        if meta.get("mode") == "ping":
+            _serve_ping_session(conn)
+            return
+        shard = _receive_shard(conn, meta, arrays, shard_cache)
+        if shard is None:
+            return
+        codes, ncat, cache_status = shard
+        worker = ShardWorker(codes, ncat, engine=str(meta.get("engine", "auto")))
         send_frame(conn, pack_message("welcome", {
-            "protocol": PROTOCOL_VERSION, "n_objects": worker.ping(),
+            "protocol": PROTOCOL_VERSION,
+            "n_objects": worker.ping(),
+            "cache": cache_status,
         }))
         while True:
             try:
@@ -247,6 +348,7 @@ def _serve_session(conn: socket.socket) -> None:
             if method == "shutdown":
                 send_frame(conn, pack_message("scalar", {"value": 0}))
                 return
+            started = time.perf_counter()
             try:
                 result = getattr(worker, method)(*args)
             except Exception as exc:  # report, keep serving
@@ -256,7 +358,8 @@ def _serve_session(conn: socket.socket) -> None:
                     "traceback": traceback.format_exc(),
                 }))
                 continue
-            send_frame(conn, encode_result(result))
+            elapsed = time.perf_counter() - started
+            send_frame(conn, encode_result(result, {"elapsed": elapsed}))
     except TransportError:
         pass  # half-open teardown / malformed frame; the peer sees its own error
     except Exception:
@@ -274,38 +377,100 @@ class WorkerServer(ThreadedFrameServer):
     The accept-loop mechanics (immediate bind so ``port=0`` resolves before
     :meth:`serve_forever`, one daemon thread per session, ``once`` semantics,
     idempotent :meth:`shutdown`) live in :class:`ThreadedFrameServer`; this
-    subclass contributes the shard-session protocol.
+    subclass contributes the shard-session protocol.  With ``shard_cache``
+    (``repro worker --shard-cache DIR``) the worker keeps every shard it ever
+    received in a content-addressed directory, so re-fits of the same data —
+    and shards re-placed onto it after another worker's death — handshake
+    without any payload bytes.
     """
 
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        once: bool = False,
+        shard_cache: Union[None, str, Path, ShardCache] = None,
+    ) -> None:
+        super().__init__(host, port, once=once)
+        if shard_cache is not None and not isinstance(shard_cache, ShardCache):
+            shard_cache = ShardCache(shard_cache)
+        self.shard_cache = shard_cache
+
     def handle_session(self, conn: socket.socket) -> None:
-        _serve_session(conn)
+        _serve_session(conn, shard_cache=self.shard_cache)
 
 
-def serve_worker(listen: str = "127.0.0.1:0", once: bool = False) -> WorkerServer:
+def serve_worker(
+    listen: str = "127.0.0.1:0",
+    once: bool = False,
+    shard_cache: Union[None, str, Path, ShardCache] = None,
+) -> WorkerServer:
     """Start a :class:`WorkerServer` on a daemon thread; returns it (bound).
 
     The blocking equivalent — what ``repro worker --listen`` runs — is
     ``WorkerServer(host, port).serve_forever()``.
     """
     host, port = parse_address(listen)
-    server = WorkerServer(host, port, once=once)
+    server = WorkerServer(host, port, once=once, shard_cache=shard_cache)
     threading.Thread(target=server.serve_forever, daemon=True).start()
     return server
 
 
 @contextmanager
-def local_worker_pool(n_workers: int = 2, host: str = "127.0.0.1") -> Iterator[List[str]]:
+def local_worker_pool(
+    n_workers: int = 2,
+    host: str = "127.0.0.1",
+    shard_cache: Union[None, str, Path, ShardCache] = None,
+) -> Iterator[List[str]]:
     """Spin up ``n_workers`` loopback worker servers (threads); yields addresses.
 
     Test/demo convenience: the in-process equivalent of launching
     ``repro worker`` on ``n_workers`` machines.
     """
-    servers = [serve_worker(f"{host}:0") for _ in range(int(n_workers))]
+    servers = [serve_worker(f"{host}:0", shard_cache=shard_cache) for _ in range(int(n_workers))]
     try:
         yield [server.address for server in servers]
     finally:
         for server in servers:
             server.shutdown()
+
+
+def ping_host(address: str, timeout: Optional[float] = None) -> float:
+    """Round-trip a liveness probe to a worker; returns the latency in seconds.
+
+    Opens a throwaway ``mode="ping"`` session (no shard payload, no resident
+    state) and runs one ``ping``.  Raises :class:`TransportError` if the
+    worker is unreachable, hung past ``timeout`` (default: the codec's
+    connect timeout), or answers garbage — exactly the signal the heartbeat
+    monitor needs.
+    """
+    timeout = default_connect_timeout() if timeout is None else float(timeout)
+    host, port = parse_address(address)
+    started = time.perf_counter()
+    try:
+        sock = socket.create_connection((host, port), timeout=max(0.1, timeout))
+    except OSError as exc:
+        raise TransportError(f"cannot reach worker at {address}: {exc}") from exc
+    try:
+        sock.settimeout(timeout)
+        send_frame(sock, pack_message("hello", {
+            "protocol": PROTOCOL_VERSION, "mode": "ping",
+        }))
+        kind, meta, _ = unpack_message(recv_frame(sock))
+        if kind != "welcome" or meta.get("mode") != "ping":
+            raise TransportError(
+                f"worker at {address} rejected the ping handshake (got {kind!r})"
+            )
+        send_frame(sock, encode_request("ping", ()))
+        unpack_message(recv_frame(sock))
+        return time.perf_counter() - started
+    except socket.timeout as exc:
+        raise TransportError(f"worker at {address} timed out on ping") from exc
+    finally:
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover
+            pass
 
 
 # ---------------------------------------------------------------------- #
@@ -314,10 +479,19 @@ def local_worker_pool(n_workers: int = 2, host: str = "127.0.0.1") -> Iterator[L
 class TCPTransport:
     """One shard's channel to a remote worker over a single socket.
 
-    Connecting performs the handshake: the shard's codes are shipped once in
-    the ``hello`` frame and stay resident on the worker.  ``submit`` writes
-    the request frame immediately (TCP pipelines; replies come back in
-    order), ``result`` reads the next reply frame.
+    Connecting performs the handshake: the ``hello`` names the shard by its
+    content key and — unless ``cache_first`` — carries the codes, which stay
+    resident on the worker.  A ``cache_first`` hello ships no payload; if the
+    worker's content-addressed cache misses it answers ``need_codes`` and the
+    codes travel in a follow-up frame.  ``submit`` writes the request frame
+    immediately (TCP pipelines; replies come back in order), ``result`` reads
+    the next reply frame.
+
+    Observability: :attr:`payload_bytes_shipped` counts the shard-code bytes
+    that actually travelled (0 on a warm cache hit), :attr:`cache_status`
+    holds the worker's handshake verdict (``"shipped"``/``"hit"``/``"miss"``)
+    and :attr:`last_elapsed` the worker-side wall seconds of the most recent
+    completed call (``None`` before the first one) — the rebalancer's input.
     """
 
     def __init__(
@@ -327,12 +501,21 @@ class TCPTransport:
         n_categories: Sequence[int],
         engine: str = "auto",
         timeout: Optional[float] = None,
-        connect_timeout: float = 10.0,
+        connect_timeout: Optional[float] = None,
         defer_welcome: bool = False,
+        content_key: Optional[str] = None,
+        cache_first: bool = False,
     ) -> None:
         self.address = address
         self._pending = 0
         self._welcomed = False
+        self.payload_bytes_shipped = 0
+        self.cache_status: Optional[str] = None
+        self.last_elapsed: Optional[float] = None
+        connect_timeout = (
+            default_connect_timeout() if connect_timeout is None else float(connect_timeout)
+        )
+        self._timeout = default_io_timeout() if timeout is None else timeout
         host, port = parse_address(address)
         try:
             self._sock: Optional[socket.socket] = socket.create_connection(
@@ -341,15 +524,26 @@ class TCPTransport:
         except OSError as exc:
             raise TransportError(f"cannot connect to worker at {address}: {exc}") from exc
         try:
-            self._sock.settimeout(timeout)
+            # The handshake runs under the *connect* timeout — a worker that
+            # accepted the connection but never answers the hello must fail
+            # the handshake, not hang the coordinator.  The per-operation
+            # timeout takes over once welcomed.
+            self._sock.settimeout(connect_timeout)
             self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._codes = np.ascontiguousarray(codes, dtype=np.int64)
+            self._ncat = np.asarray(list(n_categories), dtype=np.int64)
             self._expected_objects = int(codes.shape[0])
-            send_frame(self._sock, pack_message(
-                "hello",
-                {"protocol": PROTOCOL_VERSION, "engine": engine},
-                codes=np.ascontiguousarray(codes, dtype=np.int64),
-                ncat=np.asarray(list(n_categories), dtype=np.int64),
-            ))
+            self.content_key = content_key
+            hello_meta = {"protocol": PROTOCOL_VERSION, "engine": engine}
+            if content_key is not None:
+                hello_meta["content_key"] = content_key
+            if cache_first and content_key is not None:
+                send_frame(self._sock, pack_message("hello", hello_meta))
+            else:
+                send_frame(self._sock, pack_message(
+                    "hello", hello_meta, codes=self._codes, ncat=self._ncat,
+                ))
+                self.payload_bytes_shipped += int(self._codes.nbytes)
             # `defer_welcome` lets a multi-shard caller ship every shard's
             # hello first and gather the replies afterwards, so the workers'
             # engine builds overlap instead of serialising per host.
@@ -360,19 +554,33 @@ class TCPTransport:
             raise
 
     def await_welcome(self) -> None:
-        """Block until the worker acknowledges the shipped shard (idempotent)."""
+        """Block until the worker acknowledges the resident shard (idempotent).
+
+        Handles the cache-first miss inline: a ``need_codes`` reply triggers
+        the payload ship, after which the welcome proper follows.
+        """
         if self._welcomed:
             return
         if self._sock is None:
             raise TransportError(f"transport to {self.address} is closed")
-        kind, meta, arrays = unpack_message(recv_frame(self._sock))
-        if kind == "error":
-            decode_result(kind, meta, arrays)  # raises TransportError
+        while True:
+            kind, meta, arrays = unpack_message(recv_frame(self._sock))
+            if kind == "error":
+                decode_result(kind, meta, arrays)  # raises TransportError
+            if kind == "need_codes":
+                send_frame(self._sock, pack_message(
+                    "codes", {}, codes=self._codes, ncat=self._ncat,
+                ))
+                self.payload_bytes_shipped += int(self._codes.nbytes)
+                continue
+            break
         if kind != "welcome" or meta.get("n_objects") != self._expected_objects:
             raise TransportError(
                 f"handshake with worker at {self.address} failed (got {kind!r})"
             )
+        self.cache_status = meta.get("cache")
         self._welcomed = True
+        self._sock.settimeout(self._timeout)
 
     def submit(self, method: str, args: tuple) -> None:
         if self._sock is None:
@@ -395,6 +603,9 @@ class TCPTransport:
             raise TransportError(
                 f"worker at {self.address} failed mid-operation: {exc}"
             ) from exc
+        elapsed = meta.pop("elapsed", None)
+        if elapsed is not None:
+            self.last_elapsed = float(elapsed)
         return decode_result(kind, meta, arrays)
 
     def close(self) -> None:
@@ -416,12 +627,6 @@ class TCPTransport:
                 pass
 
 
-@register_backend(
-    "tcp",
-    aliases=("socket", "remote"),
-    description="Shards on remote `repro worker` hosts (codes shipped once at connect)",
-    options=("hosts", "placement", "timeout"),
-)
 class TCPExecutor(TransportExecutor):
     """Shard executor whose shards live behind ``repro worker`` TCP servers.
 
@@ -434,11 +639,22 @@ class TCPExecutor(TransportExecutor):
         :meth:`GranularityAwareScheduler.place_shards`; defaults to
         round-robin ``shard i -> hosts[i % len(hosts)]``.
     timeout:
-        Optional per-operation socket timeout in seconds (default: block).
+        Optional per-operation socket timeout in seconds
+        (default: ``REPRO_IO_TIMEOUT`` or block).
+    shard_cache:
+        Optional directory (or :class:`ShardCache`) of content-addressed
+        shard payloads.  When set, each shard is written to the cache on the
+        coordinator side and the handshake opens cache-first: a worker that
+        already holds the shard acknowledges without any payload travelling,
+        so a second fit of the same data ships zero shard bytes.
 
     Construction is transactional: if any shard fails to connect or
     handshake, every already-connected transport is closed before the error
     propagates.
+
+    Note: the ``"tcp"`` registry name resolves to the fault-tolerant
+    subclass :class:`repro.distributed.resilience.ResilientTCPExecutor`;
+    this base class is the plain fail-fast channel layer.
     """
 
     def __init__(
@@ -450,6 +666,7 @@ class TCPExecutor(TransportExecutor):
         hosts: Optional[Sequence[str]] = None,
         placement: Optional[Sequence[int]] = None,
         timeout: Optional[float] = None,
+        shard_cache: Optional[Union[str, Path, ShardCache]] = None,
     ) -> None:
         if not hosts:
             raise ValueError(
@@ -468,15 +685,29 @@ class TCPExecutor(TransportExecutor):
         if placement and not all(0 <= p < len(hosts) for p in placement):
             raise ValueError(f"placement indices must be in [0, {len(hosts)})")
         codes = np.asarray(codes, dtype=np.int64)
+        n_categories = [int(m) for m in n_categories]
+        if shard_cache is not None and not isinstance(shard_cache, ShardCache):
+            shard_cache = ShardCache(shard_cache)
+        self.shard_cache = shard_cache
+        # Content keys name shards on the wire even without a cache directory
+        # (the worker may have its own), and let recovery restore from cache.
+        self.content_keys = [
+            shard_content_key(codes[idx], n_categories) for idx in shard_indices
+        ]
+        if shard_cache is not None:
+            for idx, key in zip(shard_indices, self.content_keys):
+                shard_cache.put(key, codes[idx], n_categories)
         transports: List[TCPTransport] = []
         try:
             # Two phases so the handshakes pipeline: ship every shard's hello
             # first, then gather the welcomes — worker-side engine builds for
             # shards on different hosts overlap instead of running serially.
-            for idx, host_index in zip(shard_indices, placement):
+            for i, (idx, host_index) in enumerate(zip(shard_indices, placement)):
                 transports.append(TCPTransport(
                     hosts[host_index], codes[idx], n_categories, engine,
                     timeout=timeout, defer_welcome=True,
+                    content_key=self.content_keys[i],
+                    cache_first=shard_cache is not None,
                 ))
             for transport in transports:
                 transport.await_welcome()
@@ -486,3 +717,18 @@ class TCPExecutor(TransportExecutor):
         super().__init__(transports, shard_indices, codes.shape[0])
         self.hosts = hosts
         self.placement = placement
+        self._engine = engine
+        self._timeout = timeout
+        self._codes = codes
+        self._n_categories = n_categories
+
+    def transport_stats(self) -> dict:
+        """Aggregate wire observability across the live shard transports."""
+        transports = [t for t in self._transports if t is not None]
+        statuses = [t.cache_status for t in transports]
+        return {
+            "payload_bytes_shipped": sum(t.payload_bytes_shipped for t in transports),
+            "cache_hits": sum(1 for s in statuses if s == "hit"),
+            "cache_misses": sum(1 for s in statuses if s == "miss"),
+            "cache_shipped": sum(1 for s in statuses if s in (None, "shipped")),
+        }

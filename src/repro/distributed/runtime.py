@@ -196,15 +196,19 @@ def ShardedCoordinator(
     backend: str = "process",
     engine: str = "auto",
     mp_context=None,
+    **backend_options,
 ) -> ShardExecutor:
     """Build a shard executor (kept as the PR-2 entry point's name).
 
     Thin wrapper over :func:`repro.distributed.transport.make_executor`; the
     per-backend construction now lives behind the backend registry, so this
-    function no longer carries backend branches of its own.  New code should
-    call ``make_executor`` directly.
+    function no longer carries backend branches of its own.  Extra keyword
+    arguments (``hosts``, ``shard_cache``, ``max_retries``, ...) pass through
+    to the backend factory.  New code should call ``make_executor`` directly.
     """
-    options = {} if mp_context is None else {"mp_context": mp_context}
+    options = dict(backend_options)
+    if mp_context is not None:
+        options["mp_context"] = mp_context
     return make_executor(
         backend, codes, n_categories, shards=shards, engine=engine, **options
     )
@@ -222,6 +226,7 @@ class _ShardedMixin:
         backend: str,
         mp_context,
         hosts: Optional[Sequence[str]] = None,
+        backend_options=None,
     ) -> None:
         # Validate the backend/hosts pairing now: an unknown backend, a
         # host-addressed backend without hosts, or hosts on a backend that
@@ -235,18 +240,32 @@ class _ShardedMixin:
             )
         if hosts and "hosts" not in spec.options:
             raise ValueError(f"backend {spec.name!r} does not take hosts=")
+        # Same early-validation story for the pass-through backend options
+        # (shard_cache/max_retries/... on tcp): reject unknown keys here, not
+        # after the dataset has been sharded.
+        backend_options = dict(backend_options) if backend_options else None
+        if backend_options:
+            unknown = sorted(set(backend_options) - set(spec.options))
+            if unknown:
+                raise ValueError(
+                    f"backend {spec.name!r} does not accept option(s) "
+                    f"{', '.join(unknown)}; it takes: {', '.join(spec.options) or 'none'}"
+                )
         self.n_shards = n_shards
         self.backend = backend
         self.mp_context = mp_context
         self.hosts = hosts
+        self.backend_options = backend_options
 
     def _make_coordinator(self, codes: np.ndarray, n_categories, engine: str) -> ShardExecutor:
         options = {}
+        if self.backend_options:
+            options.update(self.backend_options)
         if self.mp_context is not None:
             options["mp_context"] = self.mp_context
         if self.hosts is not None:
             options["hosts"] = list(self.hosts)
-        return make_executor(
+        executor = make_executor(
             self.backend,
             codes,
             n_categories,
@@ -254,6 +273,11 @@ class _ShardedMixin:
             engine=engine,
             **options,
         )
+        # Post-fit observability: the fit loop closes its executor, but the
+        # object (and, on the resilient tcp backend, its recovery_events /
+        # rebalance_events / transport_stats) stays inspectable here.
+        self.last_executor_ = executor
+        return executor
 
 
 @register_clusterer(
@@ -284,6 +308,11 @@ class ShardedMGCPL(_ShardedMixin, MGCPL):
         Optional multiprocessing context (``backend="process"`` only).
     hosts:
         ``"host:port"`` worker addresses (``backend="tcp"`` only).
+    backend_options:
+        Extra backend options as a mapping — e.g.
+        ``{"shard_cache": "/var/cache/repro", "max_retries": 3,
+        "heartbeat_interval": 1.0, "rebalance": True}`` on ``"tcp"``.
+        Validated against the backend's registered option names.
     """
 
     def __init__(
@@ -292,12 +321,13 @@ class ShardedMGCPL(_ShardedMixin, MGCPL):
         backend: str = "process",
         mp_context=None,
         hosts: Optional[Sequence[str]] = None,
+        backend_options=None,
         **mgcpl_params,
     ) -> None:
         if mgcpl_params.get("update_mode", "batch") != "batch":
             raise ValueError("ShardedMGCPL only supports update_mode='batch'")
         super().__init__(**mgcpl_params)
-        self._init_sharding(n_shards, backend, mp_context, hosts)
+        self._init_sharding(n_shards, backend, mp_context, hosts, backend_options)
 
     def _make_executor(self, codes: np.ndarray, n_categories: List[int]) -> ShardExecutor:
         return self._make_coordinator(codes, n_categories, self.engine)
@@ -325,10 +355,11 @@ class ShardedCAME(_ShardedMixin, CAME):
         backend: str = "process",
         mp_context=None,
         hosts: Optional[Sequence[str]] = None,
+        backend_options=None,
         **came_params,
     ) -> None:
         super().__init__(n_clusters, **came_params)
-        self._init_sharding(n_shards, backend, mp_context, hosts)
+        self._init_sharding(n_shards, backend, mp_context, hosts, backend_options)
 
     def _make_executor(self, gamma: np.ndarray, n_categories) -> ShardExecutor:
         return self._make_coordinator(gamma, n_categories, self.engine)
@@ -343,10 +374,11 @@ class ShardedMCDCEncoder(_ShardedMixin, MCDCEncoder):
         backend: str = "process",
         mp_context=None,
         hosts: Optional[Sequence[str]] = None,
+        backend_options=None,
         **encoder_params,
     ) -> None:
         super().__init__(**encoder_params)
-        self._init_sharding(n_shards, backend, mp_context, hosts)
+        self._init_sharding(n_shards, backend, mp_context, hosts, backend_options)
 
     def _build_mgcpl(self) -> ShardedMGCPL:
         return ShardedMGCPL(
@@ -354,6 +386,7 @@ class ShardedMCDCEncoder(_ShardedMixin, MCDCEncoder):
             backend=self.backend,
             mp_context=self.mp_context,
             hosts=self.hosts,
+            backend_options=self.backend_options,
             k0=self.k0,
             learning_rate=self.learning_rate,
             update_mode=self.update_mode,
@@ -387,10 +420,11 @@ class ShardedMCDC(_ShardedMixin, MCDC):
         backend: str = "process",
         mp_context=None,
         hosts: Optional[Sequence[str]] = None,
+        backend_options=None,
         **mcdc_params,
     ) -> None:
         super().__init__(n_clusters, **mcdc_params)
-        self._init_sharding(n_shards, backend, mp_context, hosts)
+        self._init_sharding(n_shards, backend, mp_context, hosts, backend_options)
 
     def _build_encoder(self, seed: int) -> ShardedMCDCEncoder:
         return ShardedMCDCEncoder(
@@ -398,6 +432,7 @@ class ShardedMCDC(_ShardedMixin, MCDC):
             backend=self.backend,
             mp_context=self.mp_context,
             hosts=self.hosts,
+            backend_options=self.backend_options,
             k0=self.k0,
             learning_rate=self.learning_rate,
             update_mode=self.update_mode,
@@ -412,6 +447,7 @@ class ShardedMCDC(_ShardedMixin, MCDC):
             backend=self.backend,
             mp_context=self.mp_context,
             hosts=self.hosts,
+            backend_options=self.backend_options,
             weighted=self.weighted_aggregation,
             n_init=self.n_init,
             engine=self.engine,

@@ -1,0 +1,123 @@
+"""Content-addressed shard cache: ship each shard's codes at most once.
+
+Every shard the coordinator places on a worker is an immutable ``(codes,
+n_categories)`` pair, so it has a stable identity: the SHA-256 over the raw
+code bytes plus the shape/dtype/vocabulary header.  :func:`shard_content_key`
+computes that key and :class:`ShardCache` maps keys to ``.npz`` files in a
+directory, which buys the runtime two things:
+
+* **No re-handshake re-ship.**  A fresh executor over the same data (a new
+  fit, an MCDC restart, a reconnect) opens its ``hello`` with just the
+  content key; a worker that already holds the shard — in its cache from a
+  previous session — answers ``welcome`` directly and *zero* payload bytes
+  travel.  Only on a miss does the worker ask (``need_codes``) and the
+  coordinator ship.
+* **Cheap recovery.**  When a worker dies mid-fit, the replacement host can
+  restore the shard from its cache (or the shared cache directory) instead
+  of waiting for a full re-ship, which is what keeps the recovery path in
+  :mod:`repro.distributed.resilience` fast for large shards.
+
+Layout: ``<directory>/<key[:2]>/<key>.npz`` (two-level fan-out so huge
+caches do not degenerate into one giant directory), each file a
+pickle-free ``np.savez`` archive of ``codes`` + ``ncat``.  Writes are atomic
+(temp file + ``os.replace``) so concurrent coordinators/workers sharing one
+directory — the single-machine deployment — can never observe a torn entry;
+a corrupt or truncated file is treated as a miss and overwritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["shard_content_key", "ShardCache"]
+
+
+def shard_content_key(codes: np.ndarray, n_categories: Sequence[int]) -> str:
+    """Stable hex digest identifying one shard's ``(codes, n_categories)``.
+
+    Hashes the C-order int64 bytes plus a header of shape, dtype and the
+    per-feature vocabulary sizes, so two shards collide only if they are the
+    same data under the same encoding — the condition under which a cached
+    copy is a bit-exact substitute for a re-ship.
+    """
+    codes = np.ascontiguousarray(codes, dtype=np.int64)
+    digest = hashlib.sha256()
+    header = "{}|{}|{}".format(
+        codes.shape, codes.dtype.str, ",".join(str(int(m)) for m in n_categories)
+    )
+    digest.update(header.encode("ascii"))
+    digest.update(codes.tobytes())
+    return digest.hexdigest()
+
+
+class ShardCache:
+    """A directory of content-addressed shard payloads (``.npz`` files).
+
+    Safe for concurrent use by any number of processes sharing the
+    directory: :meth:`put` is atomic and idempotent (same key => same
+    bytes), :meth:`get` treats unreadable entries as misses.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        """Where ``key``'s payload lives (two-level fan-out)."""
+        if not key or not all(c in "0123456789abcdef" for c in key):
+            raise ValueError(f"malformed shard content key {key!r}")
+        return self.directory / key[:2] / f"{key}.npz"
+
+    def has(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def put(self, key: str, codes: np.ndarray, n_categories: Sequence[int]) -> Path:
+        """Store one shard under ``key`` (atomic; no-op if already present)."""
+        path = self.path_for(key)
+        if path.is_file():
+            return path
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            dir=path.parent, prefix=".shard-", suffix=".tmp", delete=False
+        )
+        try:
+            np.savez(
+                handle,
+                codes=np.ascontiguousarray(codes, dtype=np.int64),
+                ncat=np.asarray(list(n_categories), dtype=np.int64),
+            )
+            handle.close()
+            os.replace(handle.name, path)
+        except BaseException:  # pragma: no cover - leave no temp litter behind
+            handle.close()
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def get(self, key: str) -> Optional[Tuple[np.ndarray, List[int]]]:
+        """The cached ``(codes, n_categories)`` for ``key``, or ``None``.
+
+        A missing, truncated or otherwise unreadable entry is a miss — the
+        caller re-ships and :meth:`put` replaces the bad file — so a crashed
+        writer can never wedge every later session on a corrupt cache.
+        """
+        path = self.path_for(key)
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                codes = np.asarray(archive["codes"], dtype=np.int64)
+                ncat = [int(m) for m in archive["ncat"]]
+        except (OSError, ValueError, KeyError, EOFError):
+            return None
+        return codes, ncat
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ShardCache({str(self.directory)!r})"

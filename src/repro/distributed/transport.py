@@ -32,9 +32,13 @@ name          executor                                             options
               (:mod:`repro.distributed.runtime`)
 ``shm``       zero-copy shared-memory segment + resident worker    ``mp_context``
               pools (:mod:`repro.distributed.shm`)
-``tcp``       one socket per shard to ``repro worker`` hosts       ``hosts``,
-              (:mod:`repro.distributed.rpc`)                       ``placement``,
-                                                                   ``timeout``
+``tcp``       one socket per shard to ``repro worker`` hosts,      ``hosts``,
+              with retry-reconnect, shard re-placement and a       ``placement``,
+              content-addressed shard cache                        ``timeout``,
+              (:mod:`repro.distributed.rpc` +                      ``shard_cache``,
+              :mod:`repro.distributed.resilience`)                 ``max_retries``,
+                                                                   ``heartbeat_interval``,
+                                                                   ``rebalance``
 ============  ===================================================  =========
 
 Transport failures (a worker process dying, a socket closing mid-sweep)
@@ -74,6 +78,7 @@ except ImportError:  # pragma: no cover - python < 3.8
 
 __all__ = [
     "TransportError",
+    "RemoteWorkerError",
     "ShardTransport",
     "ShardExecutor",
     "TransportExecutor",
@@ -96,6 +101,16 @@ class TransportError(RuntimeError):
     Raised instead of letting backend-specific failures (``BrokenProcessPool``,
     ``ConnectionResetError``, EOF on a socket) leak through — or worse, hang —
     so callers can handle every backend's failure mode uniformly.
+    """
+
+
+class RemoteWorkerError(TransportError):
+    """The worker *application* raised (reported back over a healthy channel).
+
+    Distinguished from plain :class:`TransportError` so the resilience layer
+    can tell a dead worker (re-place the shard, retry) from a deterministic
+    remote exception (re-raises identically on any host — recovery would just
+    replay the failure, so it is surfaced immediately instead).
     """
 
 
@@ -324,7 +339,7 @@ class BackendSpec:
 
 def _populate_backends() -> None:
     """Import the modules whose definitions carry the registration decorators."""
-    import repro.distributed.rpc  # noqa: F401  (registers "tcp")
+    import repro.distributed.resilience  # noqa: F401  (registers "tcp")
     import repro.distributed.runtime  # noqa: F401  (registers "process")
     import repro.distributed.shm  # noqa: F401  (registers "shm")
 

@@ -34,6 +34,10 @@ class ExperimentConfig:
     # "tcp", ``hosts`` lists the `repro worker` addresses.
     backend: Optional[str] = None
     hosts: Tuple[str, ...] = ()
+    # Extra backend options as sorted (key, value) pairs (kept hashable for
+    # the frozen dataclass) — e.g. the tcp resilience knobs shard_cache /
+    # max_retries / heartbeat_interval / rebalance.
+    backend_options: Tuple[Tuple[str, object], ...] = ()
     datasets: Tuple[str, ...] = ("Car", "Con", "Che", "Mus", "Tic", "Vot", "Bal", "Nur")
     learning_rate: float = 0.03
     wilcoxon_alpha: float = 0.1

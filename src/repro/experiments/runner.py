@@ -87,6 +87,9 @@ def route_through_backend(
         hosts = tuple(getattr(config, "hosts", ()) or ())
         if hosts:
             extra["hosts"] = list(hosts)
+        backend_options = dict(getattr(config, "backend_options", ()) or ())
+        if backend_options:
+            extra["backend_options"] = backend_options
         if canonical == "mcdc":
             canonical = "mcdc@sharded"
     return canonical, extra

@@ -57,6 +57,15 @@ def _encode_param(name: str, value: Any) -> Any:
         return float(value)
     if isinstance(value, (list, tuple)):
         return [_encode_param(name, item) for item in value]
+    if isinstance(value, dict):
+        # Plain option mappings (e.g. backend_options={"max_retries": 3}).
+        # The nested-clusterer sentinel key is reserved for _decode_param.
+        if any(not isinstance(key, str) or key == _NESTED_KEY for key in value):
+            raise ValueError(
+                f"parameter {name!r}: only string-keyed dicts (without the "
+                f"reserved {_NESTED_KEY!r} key) can be persisted"
+            )
+        return {key: _encode_param(name, item) for key, item in value.items()}
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
     raise ValueError(
@@ -73,6 +82,8 @@ def _encode_params(params: Dict[str, Any]) -> Dict[str, Any]:
 def _decode_param(value: Any) -> Any:
     if isinstance(value, dict) and _NESTED_KEY in value:
         return make_clusterer(value[_NESTED_KEY], **_decode_params(value["params"]))
+    if isinstance(value, dict):
+        return {key: _decode_param(item) for key, item in value.items()}
     if isinstance(value, list):
         return [_decode_param(item) for item in value]
     return value

@@ -64,6 +64,8 @@ import numpy as np
 
 from repro.core.base import ArrayOrDataset, extract_codes
 from repro.distributed.codec import (
+    default_connect_timeout,
+    default_io_timeout,
     pack_compact,
     pack_message,
     parse_address,
@@ -128,15 +130,17 @@ class ServingClient:
         ``"host:port"`` of a running ``repro serve`` server (or router).
     connect_timeout:
         Total seconds to keep retrying a refused connection before giving up
-        (covers the server-still-starting race).
+        (covers the server-still-starting race).  Default: the
+        ``REPRO_CONNECT_TIMEOUT`` codec default (10 s).
     retry_interval:
         Base delay between connection attempts; attempts back off
         exponentially from here (with jitter) up to ``max_retry_interval``.
     max_retry_interval:
         Cap on the backoff delay between connection attempts.
     timeout:
-        Optional per-operation socket timeout in seconds (default: block; a
-        predict on a large batch legitimately takes a while).
+        Optional per-operation socket timeout in seconds (default: the
+        ``REPRO_IO_TIMEOUT`` codec default, i.e. block; a predict on a large
+        batch legitimately takes a while).
     max_in_flight:
         Pipelining window: the most unanswered ``predict_async`` requests
         allowed at once before submission first harvests old replies.
@@ -145,7 +149,7 @@ class ServingClient:
     def __init__(
         self,
         address: str,
-        connect_timeout: float = 10.0,
+        connect_timeout: Optional[float] = None,
         retry_interval: float = 0.2,
         max_retry_interval: float = 2.0,
         timeout: Optional[float] = None,
@@ -153,10 +157,12 @@ class ServingClient:
     ) -> None:
         self.address = address
         self._host, self._port = parse_address(address)
-        self.connect_timeout = float(connect_timeout)
+        self.connect_timeout = float(
+            default_connect_timeout() if connect_timeout is None else connect_timeout
+        )
         self.retry_interval = float(retry_interval)
         self.max_retry_interval = float(max_retry_interval)
-        self.timeout = timeout
+        self.timeout = default_io_timeout() if timeout is None else timeout
         self.max_in_flight = int(max_in_flight)
         if self.max_in_flight < 1:
             raise ValueError("max_in_flight must be >= 1")

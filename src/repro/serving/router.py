@@ -28,20 +28,27 @@ The router never inspects array payloads — bodies are opaque bytes between
 kind and tag), so routed replies are bit-identical to direct ones.
 
 Replicas joining or leaving is a deployment concern: construct the router
-with the topology (`repro route --replicas ...`).  A backend that is down
-yields error frames (carrying the request's tag, if any) rather than a wedged
-session; predicts then round-robin past it only in the sense that the next
-session may pick a healthy backend.
+with the topology (`repro route --replicas ...`).  A read backend that is
+down is *evicted* from the round-robin rotation rather than surfaced to the
+client: predicts (idempotent by construction) retry transparently on the
+next backend, and the dead backend is re-probed — by routing one request at
+it — every ``probe_interval`` seconds, rejoining the rotation on the first
+successful reconnect.  Only when every read backend is down does the client
+see an error frame.  Ingests and snapshots are never retried (the primary is
+a single writer and ingestion is not idempotent); a dead primary keeps
+yielding error frames until it returns.
 """
 
 from __future__ import annotations
 
 import socket
 import threading
+import time
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.distributed.codec import (
     ThreadedFrameServer,
+    default_connect_timeout,
     pack_message,
     parse_address,
     recv_frame,
@@ -127,13 +134,30 @@ class _RouterSession:
             raise
 
     def ensure_pipe(self) -> socket.socket:
-        """The streaming read-backend conn (+ its reply relay thread)."""
+        """The streaming read-backend conn (+ its reply relay thread).
+
+        Tries the rotation's candidates in order, evicting backends whose
+        connect/handshake fails, so one dead replica never costs a client
+        its streaming session.
+        """
         if self.pipe_conn is None:
-            address = self.router._next_read_backend()
-            self.pipe_conn = _open_backend(address, self.router.connect_timeout)
-            self.pipe_address = address
-            self.pipe_thread = threading.Thread(target=self._relay, daemon=True)
-            self.pipe_thread.start()
+            last_error: Optional[Exception] = None
+            for address in self.router._read_candidates():
+                try:
+                    self.pipe_conn = _open_backend(address, self.router.connect_timeout)
+                except (TransportError, OSError) as exc:
+                    last_error = exc
+                    self.router._mark_backend_dead(address)
+                    continue
+                self.router._mark_backend_alive(address)
+                self.pipe_address = address
+                self.pipe_thread = threading.Thread(target=self._relay, daemon=True)
+                self.pipe_thread.start()
+                break
+            else:
+                raise TransportError(
+                    f"no read backend reachable: {last_error}"
+                ) from last_error
         return self.pipe_conn
 
     def _relay(self) -> None:
@@ -182,7 +206,11 @@ class ServingRouter(ThreadedFrameServer):
     host, port, once:
         As for :class:`~repro.distributed.codec.ThreadedFrameServer`.
     connect_timeout:
-        Seconds allowed for each backend connect + handshake.
+        Seconds allowed for each backend connect + handshake (default: the
+        ``REPRO_CONNECT_TIMEOUT`` codec default).
+    probe_interval:
+        Seconds a read backend marked dead sits out of the round-robin
+        rotation before one request is routed at it as a liveness probe.
     """
 
     def __init__(
@@ -192,7 +220,8 @@ class ServingRouter(ThreadedFrameServer):
         host: str = "127.0.0.1",
         port: int = 0,
         *,
-        connect_timeout: float = 10.0,
+        connect_timeout: Optional[float] = None,
+        probe_interval: float = 5.0,
         once: bool = False,
     ) -> None:
         super().__init__(host, port, once=once)
@@ -203,9 +232,14 @@ class ServingRouter(ThreadedFrameServer):
         for address in ([self.primary] if self.primary else []) + self.replicas:
             parse_address(address)  # fail fast on malformed topology
         self.read_backends: List[str] = self.replicas or [self.primary]
-        self.connect_timeout = float(connect_timeout)
+        self.connect_timeout = float(
+            default_connect_timeout() if connect_timeout is None else connect_timeout
+        )
+        self.probe_interval = float(probe_interval)
         self._rr_lock = threading.Lock()
         self._rr = 0
+        #: Dead read backends: address -> monotonic time of the next probe.
+        self._dead_until: Dict[str, float] = {}
         #: Routed-predict counters per backend address (observability/tests).
         self.routed_predicts: Dict[str, int] = {a: 0 for a in self.read_backends}
         self.routed_ingests = 0
@@ -214,11 +248,48 @@ class ServingRouter(ThreadedFrameServer):
         #: Last model facts fetched from a backend (stale-ok welcome cache).
         self._model_facts: Dict[str, Any] = {}
 
+    # -- read-backend rotation & liveness ------------------------------- #
     def _next_read_backend(self) -> str:
+        return self._read_candidates()[0]
+
+    def _read_candidates(self) -> List[str]:
+        """Read backends to try, in order: the round-robin pick first.
+
+        Backends marked dead are skipped until their probe is due; a backend
+        whose probe *is* due goes to the *front* of the list, so the next
+        request is actually routed at it and doubles as the liveness probe —
+        a success reinstates it, a failure fails over to the healthy rotation
+        (invisible to the caller) and re-arms the probe timer.  With every
+        backend dead, the full rotation is returned: trying is strictly
+        better than refusing.
+        """
+        now = time.monotonic()
         with self._rr_lock:
-            address = self.read_backends[self._rr % len(self.read_backends)]
+            offset = self._rr % len(self.read_backends)
             self._rr += 1
-            return address
+            rotated = (
+                self.read_backends[offset:] + self.read_backends[:offset]
+            )
+            healthy = [a for a in rotated if a not in self._dead_until]
+            probe_due = [
+                a for a in rotated
+                if a in self._dead_until and now >= self._dead_until[a]
+            ]
+        return (probe_due + healthy) or rotated
+
+    def _mark_backend_dead(self, address: str) -> None:
+        if address not in self.read_backends:
+            return
+        with self._rr_lock:
+            self._dead_until[address] = time.monotonic() + self.probe_interval
+
+    def _mark_backend_alive(self, address: str) -> None:
+        with self._rr_lock:
+            self._dead_until.pop(address, None)
+
+    def dead_backends(self) -> List[str]:
+        with self._rr_lock:
+            return sorted(self._dead_until)
 
     def _count_predict(self, address: str) -> None:
         with self._rr_lock:
@@ -230,24 +301,28 @@ class ServingRouter(ThreadedFrameServer):
 
     def _backend_model_facts(self) -> Dict[str, Any]:
         """Model facts from a read backend; last good answer on failure."""
-        sock = None
-        try:
-            sock = _open_backend(self._next_read_backend(), self.connect_timeout)
-            send_frame(sock, pack_message("info", {}))
-            kind, meta, _ = unpack_message(recv_frame(sock))
+        for address in self._read_candidates():
+            sock = None
+            try:
+                sock = _open_backend(address, self.connect_timeout)
+                send_frame(sock, pack_message("info", {}))
+                kind, meta, _ = unpack_message(recv_frame(sock))
+            except (TransportError, OSError):
+                self._mark_backend_dead(address)
+                continue
+            finally:
+                if sock is not None:
+                    try:
+                        sock.close()
+                    except OSError:  # pragma: no cover
+                        pass
+            self._mark_backend_alive(address)
             if kind == "info":
                 with self._rr_lock:
                     self._model_facts = {
                         key: meta[key] for key in self._MODEL_FACT_KEYS if key in meta
                     }
-        except (TransportError, OSError):
-            pass
-        finally:
-            if sock is not None:
-                try:
-                    sock.close()
-                except OSError:  # pragma: no cover
-                    pass
+            break
         with self._rr_lock:
             return dict(self._model_facts)
 
@@ -263,6 +338,7 @@ class ServingRouter(ThreadedFrameServer):
             "primary": self.primary,
             "replicas": list(self.replicas),
             "read_backends": list(self.read_backends),
+            "dead_backends": self.dead_backends(),
             "routed_predicts": routed,
             "routed_ingests": ingests,
         })
@@ -330,10 +406,21 @@ class ServingRouter(ThreadedFrameServer):
                 send_frame(sock, body)
                 self._count_predict(session.pipe_address)
                 return None
-            address = self._next_read_backend()
-            reply = session.forward_sync(address, body)
-            self._count_predict(address)
-            return reply
+            # Untagged predicts are idempotent, so a dead backend is evicted
+            # and the request retried on the next one instead of surfacing a
+            # TransportError to the client.
+            last_error: Optional[Exception] = None
+            for address in self._read_candidates():
+                try:
+                    reply = session.forward_sync(address, body)
+                except (TransportError, OSError) as exc:
+                    last_error = exc
+                    self._mark_backend_dead(address)
+                    continue
+                self._mark_backend_alive(address)
+                self._count_predict(address)
+                return reply
+            raise TransportError(f"no read backend reachable: {last_error}")
         if kind in ("ingest", "snapshot"):
             if self.primary is None:
                 raise RuntimeError(

@@ -702,6 +702,81 @@ class TestRouter:
             ServingRouter()
 
 
+class TestRouterFailover:
+    """A killed read replica is evicted, retried elsewhere, and reinstated."""
+
+    def test_dead_replica_evicted_and_predicts_keep_succeeding(
+        self, vot_model, vot
+    ):
+        survivor = serve_model(vot_model)
+        victim = serve_model(vot_model)
+        router = None
+        probe = vot.codes[:10]
+        expected = vot_model.predict(probe)
+        try:
+            router = route_serving(
+                replicas=[survivor.address, victim.address],
+                probe_interval=60.0, connect_timeout=2.0,
+            )
+            with ServingClient(router.address) as client:
+                np.testing.assert_array_equal(client.predict(probe), expected)
+            victim.shutdown()
+            # Enough sessions to be routed at the corpse at least once: the
+            # failover must be invisible to every one of them.
+            for _ in range(4):
+                with ServingClient(router.address) as client:
+                    np.testing.assert_array_equal(client.predict(probe), expected)
+            assert router.dead_backends() == [victim.address]
+            with ServingClient(router.address) as client:
+                assert client.info()["dead_backends"] == [victim.address]
+        finally:
+            if router is not None:
+                assert router.stop(timeout=10)
+            assert survivor.stop(timeout=10)
+            victim.shutdown()
+
+    def test_dead_replica_reinstated_after_probe_interval(self, vot_model, vot):
+        backends = [serve_model(vot_model) for _ in range(2)]
+        router = None
+        probe = vot.codes[:10]
+        try:
+            router = route_serving(
+                replicas=[b.address for b in backends],
+                probe_interval=0.2, connect_timeout=2.0,
+            )
+            # Falsely declare a healthy backend dead: the next probe-due
+            # request must find it alive and put it back in the rotation.
+            router._mark_backend_dead(backends[0].address)
+            assert router.dead_backends() == [backends[0].address]
+            time.sleep(0.3)
+            for _ in range(3):
+                with ServingClient(router.address) as client:
+                    client.predict(probe)
+            assert router.dead_backends() == []
+        finally:
+            if router is not None:
+                assert router.stop(timeout=10)
+            for backend in backends:
+                assert backend.stop(timeout=10)
+
+    def test_every_backend_dead_yields_clean_error(self, vot_model, vot):
+        backend = serve_model(vot_model)
+        router = None
+        try:
+            router = route_serving(
+                replicas=[backend.address],
+                probe_interval=0.1, connect_timeout=0.5,
+            )
+            backend.shutdown()
+            with ServingClient(router.address) as client:
+                with pytest.raises(TransportError, match="no read backend reachable"):
+                    client.predict(vot.codes[:5])
+        finally:
+            if router is not None:
+                assert router.stop(timeout=10)
+            backend.shutdown()
+
+
 # ---------------------------------------------------------------------- #
 # Warm-up and CLI surface
 # ---------------------------------------------------------------------- #
