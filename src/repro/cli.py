@@ -225,6 +225,12 @@ def build_parser() -> argparse.ArgumentParser:
         "seen before (or that another worker cached here) handshake with zero "
         "payload bytes — also what makes post-crash shard re-placement cheap",
     )
+    worker.add_argument(
+        "--shard-cache-max-bytes", default=None, metavar="BYTES",
+        help="LRU byte budget for --shard-cache (e.g. 1048576, '512m', '2g'); "
+        "least-recently-used entries are evicted once the directory exceeds "
+        "it — defaults to $REPRO_SHARD_CACHE_MAX, unbounded when unset",
+    )
 
     subparsers.add_parser(
         "methods", help="list the registered clusterers and executor backends"
@@ -676,7 +682,13 @@ def _worker(args: argparse.Namespace) -> int:
         host, port = parse_address(args.listen)
     except ValueError as exc:
         raise SystemExit(str(exc))
-    server = WorkerServer(host, port, once=args.once, shard_cache=args.shard_cache)
+    try:
+        server = WorkerServer(
+            host, port, once=args.once, shard_cache=args.shard_cache,
+            shard_cache_max_bytes=args.shard_cache_max_bytes,
+        )
+    except ValueError as exc:  # malformed --shard-cache-max-bytes
+        raise SystemExit(str(exc))
     # The resolved address (port 0 -> ephemeral) goes out first and flushed,
     # so launchers can scrape it and build their --workers list.
     print(f"repro worker listening on {server.address}", flush=True)

@@ -96,6 +96,49 @@ def cluster_weight_from_delta(delta: np.ndarray) -> np.ndarray:
     return 1.0 / (1.0 + np.exp(exponent))
 
 
+def online_competition_step(
+    sims: np.ndarray,
+    sizes: np.ndarray,
+    alive: np.ndarray,
+    rho: np.ndarray,
+    delta: np.ndarray,
+    eta: float,
+    wins_current: np.ndarray,
+    win_gain: np.ndarray,
+    win_sim_total: np.ndarray,
+    rival_pen: np.ndarray,
+) -> int:
+    """One object's winner/rival competition (Algorithm 1 lines 5-10).
+
+    Given the object's similarity vector against the *current* cluster
+    statistics, pick the winner ``v`` and rival ``h``, award/penalize
+    ``delta`` (Eqs. 11-13) and accumulate the sweep's starvation statistics —
+    exactly as the serial online reference.  The caller applies the
+    assignment move; ``delta`` and the accumulators are mutated in place.
+    Shared by :meth:`MGCPL._epoch_online` and the streaming runtime's
+    block-parallel replay, which is what makes the two bit-identical.
+    """
+    u = cluster_weight_from_delta(delta)
+    scores = (1.0 - rho) * u * sims
+    blocked = (sizes <= 0) | ~alive
+    scores = np.where(blocked, -np.inf, scores)
+
+    v = int(np.argmax(scores))
+    rival_scores = scores.copy()
+    rival_scores[v] = -np.inf
+    h = int(np.argmax(rival_scores))
+
+    wins_current[v] += 1.0                      # Eq. 10
+    margin = max(sims[v] - (sims[h] if np.isfinite(rival_scores[h]) else 0.0), 0.0)
+    win_gain[v] += margin
+    win_sim_total[v] += sims[v]
+    delta[v] = min(delta[v] + eta * margin, 20.0)          # Eq. 12 (margin award)
+    if np.isfinite(rival_scores[h]):
+        delta[h] = max(delta[h] - eta * sims[h], 0.5)      # Eq. 13 (floored)
+        rival_pen[h] += sims[h]
+    return v
+
+
 @dataclass
 class GranularityLevel:
     """One converged granularity level produced by MGCPL."""
@@ -195,6 +238,11 @@ class MGCPL(BaseClusterer):
         Labels of the coarsest level (``k_sigma`` clusters).
     """
 
+    #: Subclasses that drive online epochs through a shard executor (the
+    #: streaming runtime) flip this so ``_fit`` builds one up front; the base
+    #: serial online path never touches an executor.
+    _executor_in_online_mode = False
+
     def __init__(
         self,
         k0: Optional[int] = None,
@@ -260,7 +308,11 @@ class MGCPL(BaseClusterer):
 
         result = MGCPLResult(initial_k=k_initial)
 
-        executor = self._make_executor(codes, n_categories) if self.update_mode == "batch" else None
+        executor = (
+            self._make_executor(codes, n_categories)
+            if self.update_mode == "batch" or self._executor_in_online_mode
+            else None
+        )
         try:
             k_old = -1
             k_current = k_initial
@@ -374,7 +426,9 @@ class MGCPL(BaseClusterer):
                     codes, n_categories, labels_init, k, executor
                 )
         else:
-            labels, delta, n_sweeps = self._epoch_online(codes, n_categories, labels_init, k, rng)
+            labels, delta, n_sweeps = self._epoch_online(
+                codes, n_categories, labels_init, k, rng, executor
+            )
 
         surviving = np.unique(labels)
         weights = cluster_weight_from_delta(delta[surviving])
@@ -586,6 +640,7 @@ class MGCPL(BaseClusterer):
         labels_init: np.ndarray,
         k: int,
         rng: np.random.Generator,
+        executor=None,
     ) -> Tuple[np.ndarray, np.ndarray, int]:
         """Faithful object-at-a-time epoch (Algorithm 1 lines 4-12).
 
@@ -618,21 +673,15 @@ class MGCPL(BaseClusterer):
 
             order = rng.permutation(n)
             for i in order:
-                u = cluster_weight_from_delta(delta)
                 sims = table.similarity_object(
                     codes[i],
                     feature_weights=omega if self.use_feature_weights else None,
                     exclude_cluster=int(labels[i]),
                 )
-                scores = (1.0 - rho) * u * sims
-                blocked = (table.sizes <= 0) | ~alive
-                scores = np.where(blocked, -np.inf, scores)
-
-                v = int(np.argmax(scores))
-                rival_scores = scores.copy()
-                rival_scores[v] = -np.inf
-                h = int(np.argmax(rival_scores))
-
+                v = online_competition_step(
+                    sims, table.sizes, alive, rho, delta, eta,
+                    wins_current, win_gain, win_sim_total, rival_pen,
+                )
                 # Assign the object to the winner (Eq. 4 / line 6).
                 if labels[i] != v:
                     if labels[i] >= 0:
@@ -640,15 +689,6 @@ class MGCPL(BaseClusterer):
                     table.add(i, v)
                     labels[i] = v
                     changed = True
-
-                wins_current[v] += 1.0                      # Eq. 10
-                margin = max(sims[v] - (sims[h] if np.isfinite(rival_scores[h]) else 0.0), 0.0)
-                win_gain[v] += margin
-                win_sim_total[v] += sims[v]
-                delta[v] = min(delta[v] + eta * margin, 20.0)          # Eq. 12 (margin award)
-                if np.isfinite(rival_scores[h]):
-                    delta[h] = max(delta[h] - eta * sims[h], 0.5)      # Eq. 13 (floored, see below)
-                    rival_pen[h] += sims[h]
 
             wins_prev = wins_current
             if self.use_feature_weights:

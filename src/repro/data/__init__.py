@@ -4,6 +4,7 @@ from repro.data.dataset import CategoricalDataset
 from repro.data.encoders import FrequencyEncoder, OneHotEncoder, OrdinalEncoder
 from repro.data.generators import (
     make_categorical_clusters,
+    make_drift_stream,
     make_nested_clusters,
     make_syn_d,
     make_syn_n,
@@ -15,6 +16,7 @@ __all__ = [
     "OrdinalEncoder",
     "FrequencyEncoder",
     "make_categorical_clusters",
+    "make_drift_stream",
     "make_nested_clusters",
     "make_syn_n",
     "make_syn_d",

@@ -185,6 +185,91 @@ def _conditional_codes(
     return codes
 
 
+def make_drift_stream(
+    n_batches: int = 20,
+    batch_rows: int = 128,
+    n_features: int = 8,
+    n_clusters: int = 3,
+    n_categories: int = 6,
+    purity: float = 0.9,
+    drift: float = 0.1,
+    cluster_weights: Optional[Sequence[float]] = None,
+    random_state: RandomState = None,
+    name: str = "drift-stream",
+) -> List[CategoricalDataset]:
+    """Generate a concept-drift stream: cluster modes migrate across batches.
+
+    Every batch draws from ``n_clusters`` planted clusters over ONE shared
+    vocabulary (``n_categories`` values per feature), but between consecutive
+    batches each (cluster, feature) pair re-draws its modal value with
+    probability ``drift`` — the clusters keep their identities while their
+    signatures wander, which is the concept-drift regime a streaming runtime
+    has to track.  ``drift=0`` degenerates to a stationary stream.
+
+    Fully seeded: the same ``random_state`` reproduces the same stream,
+    batch for batch.  Each returned :class:`CategoricalDataset` carries its
+    ground-truth ``labels`` plus a ``true_modes`` attribute — the
+    ``(n_clusters, n_features)`` modal values in force when that batch was
+    drawn — so drift benchmarks can score mode recovery over time.
+    """
+    n_batches = check_positive_int(n_batches, "n_batches")
+    batch_rows = check_positive_int(batch_rows, "batch_rows")
+    n_features = check_positive_int(n_features, "n_features")
+    n_clusters = check_positive_int(n_clusters, "n_clusters")
+    n_categories = check_positive_int(n_categories, "n_categories")
+    if n_categories < 2:
+        raise ValueError("Every feature needs at least 2 possible values")
+    purity = check_probability(purity, "purity")
+    drift = check_probability(drift, "drift")
+    rng = ensure_rng(random_state)
+
+    if cluster_weights is None:
+        weights = np.full(n_clusters, 1.0 / n_clusters)
+    else:
+        weights = np.asarray(cluster_weights, dtype=np.float64)
+        if weights.shape[0] != n_clusters or (weights <= 0).any():
+            raise ValueError(
+                "cluster_weights must be positive and of length n_clusters"
+            )
+        weights = weights / weights.sum()
+
+    # Initial modal values: distinct across clusters where the vocabulary
+    # allows, exactly like the stationary generator.
+    modes = np.empty((n_features, n_clusters), dtype=np.int64)
+    for r in range(n_features):
+        preferred = rng.permutation(n_categories)
+        modes[r] = [preferred[l % n_categories] for l in range(n_clusters)]
+
+    off_mode = (1.0 - purity) / (n_categories - 1)
+    batches: List[CategoricalDataset] = []
+    for t in range(n_batches):
+        labels = rng.choice(n_clusters, size=batch_rows, p=weights)
+        codes = np.empty((batch_rows, n_features), dtype=np.int64)
+        for r in range(n_features):
+            table = np.full((n_clusters, n_categories), off_mode)
+            table[np.arange(n_clusters), modes[r]] = purity
+            cdf = np.cumsum(table, axis=1)
+            u = rng.random(batch_rows)
+            codes[:, r] = (u[:, None] > cdf[labels]).sum(axis=1)
+        batch = CategoricalDataset.from_codes(
+            codes,
+            n_categories=[n_categories] * n_features,
+            labels=labels,
+            name=f"{name}[{t}]",
+        )
+        # The signatures in force when this batch was drawn (k, d).
+        batch.true_modes = modes.T.copy()  # type: ignore[attr-defined]
+        batches.append(batch)
+
+        # Drift: each (feature, cluster) modal value migrates to a NEW value
+        # with probability ``drift`` before the next batch.
+        moved = rng.random((n_features, n_clusters)) < drift
+        fresh = rng.integers(0, n_categories - 1, size=(n_features, n_clusters))
+        fresh += fresh >= modes  # skip the current mode: always a real move
+        modes = np.where(moved, fresh, modes)
+    return batches
+
+
 def make_syn_n(
     n_objects: int = 200_000,
     random_state: RandomState = 0,

@@ -36,8 +36,13 @@ from repro.distributed.runtime import (
     ShardedMCDCEncoder,
     ShardedMGCPL,
 )
-from repro.distributed.shardcache import ShardCache, shard_content_key
+from repro.distributed.shardcache import ShardCache, parse_byte_size, shard_content_key
 from repro.distributed.shm import ShmExecutor
+from repro.distributed.streaming import (
+    StreamingCoordinator,
+    StreamingMGCPL,
+    StreamingTCPExecutor,
+)
 from repro.distributed.transport import (
     RemoteWorkerError,
     ShardExecutor,
@@ -73,7 +78,11 @@ __all__ = [
     "ShardTransport",
     "ShardCache",
     "shard_content_key",
+    "parse_byte_size",
     "ShmExecutor",
+    "StreamingCoordinator",
+    "StreamingMGCPL",
+    "StreamingTCPExecutor",
     "HeartbeatMonitor",
     "ResilientTCPExecutor",
     "RetryPolicy",

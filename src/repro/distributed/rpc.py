@@ -145,6 +145,20 @@ def encode_request(method: str, args: tuple) -> bytes:
         modes, theta = args
         arrays["modes"] = np.asarray(modes)
         arrays["theta"] = np.asarray(theta)
+    elif method == "append":
+        (codes,) = args
+        arrays["codes"] = np.ascontiguousarray(codes, dtype=np.int64)
+    elif method == "split":
+        (n_keep,) = args
+        meta["n_keep"] = int(n_keep)
+    elif method == "online_sims":
+        rows, exclude, state, omega = args
+        meta["has_omega"] = omega is not None
+        arrays["rows"] = np.asarray(rows, dtype=np.int64)
+        arrays["exclude"] = np.asarray(exclude, dtype=np.int64)
+        arrays.update(_state_arrays(state, "state_"))
+        if omega is not None:
+            arrays["omega"] = np.asarray(omega, dtype=np.float64)
     elif method in ("ping", "shutdown"):
         pass
     else:
@@ -170,6 +184,18 @@ def decode_request(meta: Dict[str, Any], arrays: Dict[str, np.ndarray]) -> Tuple
         return method, (arrays["labels"],)
     if method == "hamming_assign":
         return method, (arrays["modes"], arrays["theta"])
+    if method == "append":
+        return method, (arrays["codes"],)
+    if method == "split":
+        return method, (int(meta["n_keep"]),)
+    if method == "online_sims":
+        omega = arrays["omega"] if meta["has_omega"] else None
+        return method, (
+            arrays["rows"],
+            arrays["exclude"],
+            _state_from_arrays(arrays, "state_"),
+            omega,
+        )
     if method in ("ping", "shutdown"):
         return method, ()
     raise TransportError(f"unknown shard method {method!r}")
@@ -390,10 +416,11 @@ class WorkerServer(ThreadedFrameServer):
         port: int = 0,
         once: bool = False,
         shard_cache: Union[None, str, Path, ShardCache] = None,
+        shard_cache_max_bytes: Union[None, str, int] = None,
     ) -> None:
         super().__init__(host, port, once=once)
         if shard_cache is not None and not isinstance(shard_cache, ShardCache):
-            shard_cache = ShardCache(shard_cache)
+            shard_cache = ShardCache(shard_cache, max_bytes=shard_cache_max_bytes)
         self.shard_cache = shard_cache
 
     def handle_session(self, conn: socket.socket) -> None:
@@ -404,6 +431,7 @@ def serve_worker(
     listen: str = "127.0.0.1:0",
     once: bool = False,
     shard_cache: Union[None, str, Path, ShardCache] = None,
+    shard_cache_max_bytes: Union[None, str, int] = None,
 ) -> WorkerServer:
     """Start a :class:`WorkerServer` on a daemon thread; returns it (bound).
 
@@ -411,7 +439,10 @@ def serve_worker(
     ``WorkerServer(host, port).serve_forever()``.
     """
     host, port = parse_address(listen)
-    server = WorkerServer(host, port, once=once, shard_cache=shard_cache)
+    server = WorkerServer(
+        host, port, once=once, shard_cache=shard_cache,
+        shard_cache_max_bytes=shard_cache_max_bytes,
+    )
     threading.Thread(target=server.serve_forever, daemon=True).start()
     return server
 

@@ -325,7 +325,10 @@ class ShardedMGCPL(_ShardedMixin, MGCPL):
         **mgcpl_params,
     ) -> None:
         if mgcpl_params.get("update_mode", "batch") != "batch":
-            raise ValueError("ShardedMGCPL only supports update_mode='batch'")
+            raise ValueError(
+                "ShardedMGCPL only supports update_mode='batch'; for sharded "
+                "online updates use repro.distributed.streaming.StreamingMGCPL"
+            )
         super().__init__(**mgcpl_params)
         self._init_sharding(n_shards, backend, mp_context, hosts, backend_options)
 

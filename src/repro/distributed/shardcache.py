@@ -23,6 +23,15 @@ pickle-free ``np.savez`` archive of ``codes`` + ``ncat``.  Writes are atomic
 (temp file + ``os.replace``) so concurrent coordinators/workers sharing one
 directory — the single-machine deployment — can never observe a torn entry;
 a corrupt or truncated file is treated as a miss and overwritten.
+
+**Byte budget (LRU).**  A long-lived cache on a streaming fleet would grow
+without bound: every append changes a shard's content key, so the cache
+accumulates one entry per topology change.  ``max_bytes`` (or the
+``REPRO_SHARD_CACHE_MAX`` environment variable, e.g. ``512m``/``2g``) caps
+the directory: after each :meth:`put` the least-recently-*used* entries are
+evicted — reads touch an entry's mtime — until the total is back under
+budget.  Eviction is best-effort and crash-safe: a concurrently deleted file
+is simply skipped, and an evicted entry is just a future cache miss.
 """
 
 from __future__ import annotations
@@ -35,7 +44,37 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-__all__ = ["shard_content_key", "ShardCache"]
+__all__ = ["shard_content_key", "parse_byte_size", "ShardCache"]
+
+#: Environment variable supplying a default byte budget for every cache.
+CACHE_MAX_ENV = "REPRO_SHARD_CACHE_MAX"
+
+_SIZE_SUFFIXES = {"k": 1024, "m": 1024**2, "g": 1024**3, "t": 1024**4}
+
+
+def parse_byte_size(value: Union[str, int, float, None]) -> Optional[int]:
+    """``"512m"`` / ``"2g"`` / ``"1048576"`` -> bytes (``None``/"" -> None)."""
+    if value is None:
+        return None
+    if isinstance(value, (int, float)):
+        size = int(value)
+    else:
+        text = str(value).strip().lower()
+        if not text:
+            return None
+        factor = 1
+        if text[-1] in _SIZE_SUFFIXES:
+            factor = _SIZE_SUFFIXES[text[-1]]
+            text = text[:-1]
+        try:
+            size = int(float(text) * factor)
+        except ValueError:
+            raise ValueError(
+                f"malformed byte size {value!r}; use e.g. 1048576, '512m', '2g'"
+            ) from None
+    if size <= 0:
+        raise ValueError(f"byte size must be positive, got {value!r}")
+    return size
 
 
 def shard_content_key(codes: np.ndarray, n_categories: Sequence[int]) -> str:
@@ -62,11 +101,23 @@ class ShardCache:
     Safe for concurrent use by any number of processes sharing the
     directory: :meth:`put` is atomic and idempotent (same key => same
     bytes), :meth:`get` treats unreadable entries as misses.
+
+    ``max_bytes`` bounds the directory with least-recently-used eviction
+    (see module docs); ``None`` falls back to ``REPRO_SHARD_CACHE_MAX``
+    (unbounded when that is unset too).
     """
 
-    def __init__(self, directory: Union[str, Path]) -> None:
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        max_bytes: Union[str, int, None] = None,
+    ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        if max_bytes is None:
+            max_bytes = os.environ.get(CACHE_MAX_ENV) or None
+        self.max_bytes = parse_byte_size(max_bytes)
+        self.evictions = 0
 
     def path_for(self, key: str) -> Path:
         """Where ``key``'s payload lives (two-level fan-out)."""
@@ -81,6 +132,7 @@ class ShardCache:
         """Store one shard under ``key`` (atomic; no-op if already present)."""
         path = self.path_for(key)
         if path.is_file():
+            self._touch(path)
             return path
         path.parent.mkdir(parents=True, exist_ok=True)
         handle = tempfile.NamedTemporaryFile(
@@ -101,6 +153,7 @@ class ShardCache:
             except OSError:
                 pass
             raise
+        self._evict_over_budget(keep=path)
         return path
 
     def get(self, key: str) -> Optional[Tuple[np.ndarray, List[int]]]:
@@ -117,7 +170,59 @@ class ShardCache:
                 ncat = [int(m) for m in archive["ncat"]]
         except (OSError, ValueError, KeyError, EOFError):
             return None
+        self._touch(path)  # a hit makes the entry recently used
         return codes, ncat
 
+    # ------------------------------------------------------------------ #
+    # LRU byte budget
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _touch(path: Path) -> None:
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - entry raced away; harmless
+            pass
+
+    def _entries(self) -> List[Tuple[float, int, Path]]:
+        """Every cache file as ``(mtime, size, path)`` (missing ones skipped)."""
+        out: List[Tuple[float, int, Path]] = []
+        for path in self.directory.glob("??/*.npz"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            out.append((stat.st_mtime, int(stat.st_size), path))
+        return out
+
+    def total_bytes(self) -> int:
+        """Current payload bytes resident in the cache directory."""
+        return sum(size for _, size, _ in self._entries())
+
+    def _evict_over_budget(self, keep: Optional[Path] = None) -> None:
+        """Drop least-recently-used entries until under ``max_bytes``.
+
+        The just-written entry (``keep``) is never evicted by its own put —
+        even when it alone exceeds the budget — because the caller is about
+        to rely on it; it becomes an ordinary candidate afterwards.
+        """
+        if self.max_bytes is None:
+            return
+        entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        if total <= self.max_bytes:
+            return
+        for _, size, path in sorted(entries):  # oldest mtime first
+            if keep is not None and path == keep:
+                continue
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            self.evictions += 1
+            total -= size
+            if total <= self.max_bytes:
+                return
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"ShardCache({str(self.directory)!r})"
+        budget = "" if self.max_bytes is None else f", max_bytes={self.max_bytes}"
+        return f"ShardCache({str(self.directory)!r}{budget})"

@@ -266,6 +266,20 @@ class ShardExecutor(ABC):
             labels[idx] = part
         return labels
 
+    def online_sims(self, state, rows_per_shard, exclude_per_shard, omega=None):
+        """Per-shard similarity blocks against a broadcast global state.
+
+        The streaming mini-batch online mode: each shard restores the
+        coordinator's live counts and answers ``similarity_object`` for its
+        listed local rows.  Results come back in shard order as
+        ``(len(rows), k)`` matrices.
+        """
+        args = [
+            (rows, exclude)
+            for rows, exclude in zip(rows_per_shard, exclude_per_shard)
+        ]
+        return self._map("online_sims", args, common=(state, omega))
+
     def close(self) -> None:
         """Tear the backend down; must be idempotent."""
 
@@ -342,6 +356,7 @@ def _populate_backends() -> None:
     import repro.distributed.resilience  # noqa: F401  (registers "tcp")
     import repro.distributed.runtime  # noqa: F401  (registers "process")
     import repro.distributed.shm  # noqa: F401  (registers "shm")
+    import repro.distributed.streaming  # noqa: F401  (registers "streaming")
 
 
 _BACKENDS = NamedRegistry("executor backend", populate=_populate_backends)

@@ -393,6 +393,19 @@ class ServingClient:
         _, meta, _ = self._request("snapshot")
         return Path(meta["path"])
 
+    def reload(self, path: Optional[str] = None) -> Dict[str, Any]:
+        """Hot-swap the served model from a server-side archive path.
+
+        With ``path=None`` the server re-reads the archive it was launched
+        from.  The swap happens under the server's write lock, so no predict
+        ever sees a torn model; sessions (including this one) stay open.
+        Connected replicas resync from the reloaded archive.  Returns the
+        server's reply meta (``path``, ``n_clusters``, ``reloads``).
+        """
+        meta_out = {} if path is None else {"path": str(path)}
+        _, meta, _ = self._request("reload", meta_out)
+        return dict(meta)
+
     def shutdown_server(self) -> None:
         """Ask the server to drain and stop, then close this connection."""
         try:

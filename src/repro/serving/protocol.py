@@ -19,6 +19,7 @@ request    payload                         response
                                            ``snapshot_taken``)
 ``info``   —                               ``info`` (server info meta)
 ``snapshot`` —                             ``snapshot`` (``path``)
+``reload`` ``path`` (optional)             ``reloaded`` (``path``, ``n_clusters``)
 ``replicate`` ``seq``                      ``sync`` (model archive bytes +
                                            ``seq``), then a ``delta`` stream
 ``shutdown`` —                             ``ok``; the server then drains
@@ -83,7 +84,9 @@ SERVING_PROTOCOL_VERSION = 2
 #: client pointed at the wrong port fails with a message instead of a stall.
 SERVICE_NAME = "repro-serving"
 
-REQUEST_KINDS = ("predict", "ingest", "info", "snapshot", "replicate", "shutdown")
+REQUEST_KINDS = (
+    "predict", "ingest", "info", "snapshot", "reload", "replicate", "shutdown"
+)
 
 
 def hello_body() -> bytes:

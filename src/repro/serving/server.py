@@ -344,6 +344,11 @@ class _Subscriber:
         self.broken = False
 
     def put(self, payload: Tuple[int, np.ndarray, np.ndarray]) -> None:
+        if self.broken:
+            # Severed (queue overflow, or a model reload made the delta
+            # stream meaningless): deltas for the new state must not reach a
+            # replica that still holds the old one.
+            return
         try:
             self.queue.put_nowait(payload)
         except queue.Full:
@@ -385,6 +390,13 @@ class ModelServer(ThreadedFrameServer):
         ``ingest`` is rejected.
     connect_timeout:
         Replica only: seconds to keep retrying the initial sync connection.
+    on_ingest:
+        Optional ``callable(codes, labels)`` invoked after every applied
+        ingest batch, while the write lock is still held — the hook that
+        forwards served writes into a streaming runtime (e.g.
+        ``StreamingMGCPL.ingest`` appending the rows to resident shard
+        workers).  Best-effort: a raising hook is reported to stderr and the
+        ingest still succeeds.
     once:
         Exit ``serve_forever`` when every session accepted so far has
         finished (single-client demos and tests).
@@ -408,6 +420,7 @@ class ModelServer(ThreadedFrameServer):
         max_batch_delay_ms: float = 0.0,
         replica_of: Optional[str] = None,
         connect_timeout: float = 10.0,
+        on_ingest: Optional[Any] = None,
         once: bool = False,
     ) -> None:
         self.replica_of = replica_of
@@ -466,6 +479,9 @@ class ModelServer(ThreadedFrameServer):
         if self.max_batch_delay_ms < 0:
             raise ValueError("max_batch_delay_ms must be >= 0")
         self.connect_timeout = float(connect_timeout)
+        if on_ingest is not None and not callable(on_ingest):
+            raise TypeError("on_ingest must be callable(codes, labels)")
+        self.on_ingest = on_ingest
 
         self._lock = ReadWriteLock()
         self._snapshot_mutex = threading.Lock()
@@ -479,6 +495,7 @@ class ModelServer(ThreadedFrameServer):
         self.ingested_batches = 0
         self.ingested_objects = 0
         self.snapshots_taken = 0
+        self.reloads = 0
         self._ingests_since_snapshot = 0
         # Pre-warm the lazy mode/weight cache so concurrent reader threads
         # never race on filling it (readers share the read lock).
@@ -612,7 +629,7 @@ class ModelServer(ThreadedFrameServer):
                     self._submit_predict(sink, arrays, tag)
                     continue
                 try:
-                    reply = self._dispatch(kind, arrays, tag)
+                    reply = self._dispatch(kind, arrays, tag, meta)
                 except TransportError:
                     raise  # framing/stream integrity broke: end the session
                 except Exception as exc:  # report, keep serving this client
@@ -670,7 +687,11 @@ class ModelServer(ThreadedFrameServer):
                 ))
 
     def _dispatch(
-        self, kind: str, arrays: Dict[str, np.ndarray], tag: Optional[int] = None
+        self,
+        kind: str,
+        arrays: Dict[str, np.ndarray],
+        tag: Optional[int] = None,
+        meta: Optional[Dict[str, Any]] = None,
     ) -> bytes:
         extra = {} if tag is None else {"tag": tag}
         if kind == "predict":
@@ -697,6 +718,14 @@ class ModelServer(ThreadedFrameServer):
                 # Re-warm the cache before readers come back.
                 _ = self.model.assignment_model_.modes
                 self._publish_delta(codes, labels)
+                if self.on_ingest is not None:
+                    try:
+                        self.on_ingest(codes, labels)
+                    except Exception as exc:  # noqa: BLE001 - best-effort hook
+                        print(
+                            f"repro serve: on_ingest hook failed: {exc}",
+                            file=sys.stderr,
+                        )
                 snapshot_taken = False
                 if (
                     self.snapshot_every
@@ -716,6 +745,48 @@ class ModelServer(ThreadedFrameServer):
             with self._lock.read():
                 path = self._write_snapshot()
             return pack_message("snapshot", {"path": str(path), **extra})
+        if kind == "reload":
+            if self.is_replica:
+                raise RuntimeError(
+                    f"this server is a read replica of {self.replica_of}; "
+                    "reload on the primary (replicas resync from it)"
+                )
+            path = (meta or {}).get("path") or self.model_path
+            if path is None:
+                raise ValueError(
+                    "reload needs a path: pass one in the request meta (or "
+                    "serve from a model file path)"
+                )
+            path = Path(path)
+            # Load and validate OUTSIDE the write lock: a slow or corrupt
+            # archive must not stall every predict, and a failed load leaves
+            # the served model untouched.
+            model = load_model(path)
+            model._check_fitted()
+            with self._lock.write():
+                self.model = model
+                self.reloads += 1
+                # The archive on disk may diverge from snapshot_path; mark
+                # dirty so the next snapshot persists the reloaded state.
+                self._ingests_since_snapshot += 1
+                # Readers must only ever see a fully-built cache.
+                if model.assignment_model_ is not None:
+                    _ = model.assignment_model_.modes
+                # Sever every delta subscriber: deltas against the old model
+                # are meaningless now.  Each replica's session ends and it
+                # resyncs from the full (reloaded) archive on reconnect.
+                with self._subscribers_lock:
+                    for subscriber in self._subscribers:
+                        subscriber.broken = True
+            return pack_message(
+                "reloaded",
+                {
+                    "path": str(path),
+                    "n_clusters": int(model.n_clusters_),
+                    "reloads": int(self.reloads),
+                    **extra,
+                },
+            )
         raise ValueError(
             f"unknown request kind {kind!r}; this server speaks "
             + ", ".join(REQUEST_KINDS)
@@ -910,6 +981,7 @@ class ModelServer(ThreadedFrameServer):
             "ingested_batches": int(self.ingested_batches),
             "ingested_objects": int(self.ingested_objects),
             "snapshots_taken": int(self.snapshots_taken),
+            "reloads": int(self.reloads),
             "snapshot_path": None if self.snapshot_path is None else str(self.snapshot_path),
             "model_path": None if self.model_path is None else str(self.model_path),
             "max_batch_rows": int(self.max_batch_rows),

@@ -463,3 +463,96 @@ class TestServeCLI:
             assert "assigned" in via_server and "ACC=" in via_server
         finally:
             assert server.stop(timeout=10)
+
+
+# ---------------------------------------------------------------------- #
+# Hot model reload (ISSUE 9): swap the archive under the write lock
+# ---------------------------------------------------------------------- #
+class TestHotReload:
+    @pytest.fixture()
+    def other_model_file(self, vot, tmp_path):
+        other = make_clusterer(
+            "kmodes", n_clusters=3, n_init=2, random_state=1
+        ).fit(vot)
+        path = tmp_path / "other.npz"
+        save_model(other, path)
+        return path, other
+
+    def test_reload_swaps_model_without_dropping_the_session(
+        self, server, vot, vot_model, other_model_file
+    ):
+        other_path, other = other_model_file
+        with ServingClient(server.address) as client:
+            np.testing.assert_array_equal(client.predict(vot), vot_model.predict(vot))
+            meta = client.reload(str(other_path))
+            assert meta["n_clusters"] == other.n_clusters_
+            assert meta["reloads"] == 1
+            # Same session, new model — no reconnect happened.
+            np.testing.assert_array_equal(client.predict(vot), other.predict(vot))
+            assert client.info()["reloads"] == 1
+
+    def test_reload_default_path_rereads_launch_archive(
+        self, model_file, vot, vot_model, other_model_file
+    ):
+        other_path, other = other_model_file
+        save_model(other, model_file)  # the archive changed on disk
+        server = serve_model(model_file)
+        try:
+            with ServingClient(server.address) as client:
+                # Still serving the old in-memory model until asked.
+                meta = client.reload()
+                assert meta["path"] == str(model_file)
+                np.testing.assert_array_equal(client.predict(vot), other.predict(vot))
+        finally:
+            assert server.stop(timeout=10)
+
+    def test_reload_missing_path_or_archive_is_reported(self, vot_model, server):
+        with ServingClient(server.address) as client:
+            with pytest.raises(TransportError, match="(?s)does not exist|No such file"):
+                client.reload("/no/such/archive.npz")
+            # The session survives the failed reload and the model is intact.
+            assert client.info()["reloads"] == 0
+
+    def test_replica_rejects_reload_and_resyncs_after_primary_reload(
+        self, server, vot, other_model_file
+    ):
+        other_path, other = other_model_file
+        replica = serve_model(None, replica_of=server.address)
+        try:
+            with ServingClient(replica.address) as client:
+                with pytest.raises(TransportError, match="read replica"):
+                    client.reload(str(other_path))
+            with ServingClient(server.address) as client:
+                client.reload(str(other_path))
+            deadline = time.monotonic() + 20
+            while time.monotonic() < deadline:
+                with ServingClient(replica.address) as client:
+                    if client.info()["n_clusters"] == other.n_clusters_:
+                        np.testing.assert_array_equal(
+                            client.predict(vot), other.predict(vot)
+                        )
+                        break
+                time.sleep(0.25)
+            else:
+                pytest.fail("replica never resynced to the reloaded model")
+        finally:
+            assert replica.stop(timeout=10)
+
+    def test_on_ingest_hook_runs_under_the_write_lock(self, model_file, vot):
+        seen = []
+        server = serve_model(
+            model_file, on_ingest=lambda codes, labels: seen.append(
+                (codes.shape[0], labels.shape[0])
+            )
+        )
+        try:
+            with ServingClient(server.address) as client:
+                client.ingest(vot.codes[:7])
+                client.ingest(vot.codes[7:12])
+            assert seen == [(7, 7), (5, 5)]
+        finally:
+            assert server.stop(timeout=10)
+
+    def test_on_ingest_must_be_callable(self, vot_model):
+        with pytest.raises(TypeError, match="on_ingest"):
+            ModelServer(vot_model, on_ingest="not-a-function")
