@@ -107,6 +107,19 @@ def validate_entry(entry: Any) -> List[str]:
             problems.append(
                 f"'recovery_seconds' must be >= 0, got {entry['recovery_seconds']!r}"
             )
+    if "wal_sync" in entry and entry["wal_sync"] not in (
+        "always", "batch", "none", "off"
+    ):
+        problems.append(
+            "'wal_sync' must be one of 'always'/'batch'/'none'/'off', "
+            f"got {entry['wal_sync']!r}"
+        )
+    if "ingest_overhead_x" in entry:
+        value = entry["ingest_overhead_x"]
+        if not isinstance(value, (int, float)) or isinstance(value, bool) or value <= 0:
+            problems.append(
+                f"'ingest_overhead_x' must be a positive number, got {value!r}"
+            )
     if "commit" in entry and not isinstance(entry["commit"], str):
         problems.append(f"'commit' must be a string, got {entry['commit']!r}")
     for key, value in entry.items():

@@ -81,3 +81,17 @@ def test_validator_checks_recovery_seconds():
     assert reporting.validate_entry({**base, "recovery_seconds": 0.004}) == []
     assert reporting.validate_entry({**base, "recovery_seconds": -0.1}) != []
     assert reporting.validate_entry({**base, "recovery_seconds": "fast"}) != []
+
+
+def test_validator_checks_wal_fields():
+    base = {"bench": "b", "recorded_at": "2026-08-08T00:00:00Z"}
+    for sync in ("always", "batch", "none", "off"):
+        assert reporting.validate_entry({**base, "wal_sync": sync}) == []
+    assert reporting.validate_entry({**base, "wal_sync": "sometimes"}) != []
+    assert reporting.validate_entry({**base, "wal_sync": 1}) != []
+    assert reporting.validate_entry({**base, "ingest_overhead_x": 1.37}) == []
+    assert reporting.validate_entry({**base, "ingest_overhead_x": 1}) == []
+    assert reporting.validate_entry({**base, "ingest_overhead_x": 0}) != []
+    assert reporting.validate_entry({**base, "ingest_overhead_x": -0.5}) != []
+    assert reporting.validate_entry({**base, "ingest_overhead_x": "slow"}) != []
+    assert reporting.validate_entry({**base, "ingest_overhead_x": True}) != []

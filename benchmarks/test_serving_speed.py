@@ -207,6 +207,76 @@ def test_batch_knob_grid(benchmark):
         benchmark.extra_info[f"rows{max_rows}_predicts_per_s"] = throughput
 
 
+def test_wal_ingest_overhead(benchmark, tmp_path):
+    """Ingest throughput with the write-ahead log at each sync level vs no
+    WAL (recorded, not armed: the interesting number is the overhead factor,
+    which depends on the disk).  Exactness is the assertion — WAL-logged
+    ingest must land bit-identical state to plain ingest."""
+    from repro.persistence import save_model
+
+    model, codes = _shared_model()[0]
+    n_batches = 100 if FULL_SCALE else 30
+    rows = 256 if FULL_SCALE else 64
+    rng = np.random.default_rng(7)
+    batch_list = [
+        np.ascontiguousarray(
+            codes[rng.integers(0, codes.shape[0], size=rows)], dtype=np.int64
+        )
+        for _ in range(n_batches)
+    ]
+
+    def measure(config_name, **server_kwargs):
+        workdir = tmp_path / config_name
+        workdir.mkdir()
+        model_file = workdir / "model.npz"
+        save_model(model, model_file)
+        server = serve_model(model_file, **server_kwargs)
+        try:
+            with ServingClient(server.address) as client:
+                started = time.perf_counter()
+                for batch in batch_list:
+                    client.ingest(batch)
+                seconds = time.perf_counter() - started
+            state = server.model.assignment_model_.state
+            arrays = (
+                np.array(state.packed),
+                np.array(state.valid_counts),
+                np.array(state.sizes),
+            )
+        finally:
+            assert server.stop(timeout=15)
+        return seconds, arrays
+
+    def sweep():
+        results = {}
+        results["off"] = measure("off")
+        for sync in ("none", "batch", "always"):
+            results[sync] = measure(sync, wal=True, wal_sync=sync)
+        return results
+
+    results = benchmark.pedantic(sweep, iterations=1, rounds=1)
+
+    # Speed never changes the answer: every configuration ends bit-identical.
+    for sync, (_, arrays) in results.items():
+        for got, want in zip(arrays, results["off"][1]):
+            np.testing.assert_array_equal(got, want, err_msg=f"wal_sync={sync}")
+
+    total_rows = n_batches * rows
+    off_seconds = results["off"][0]
+    for sync, (seconds, _) in results.items():
+        throughput = total_rows / seconds
+        reporting.record(
+            "serving", "ingest_wal_overhead",
+            n=total_rows, d=FIT_D, k=FIT_K,
+            wall_seconds=seconds, throughput=throughput,
+            batches=n_batches, rows_per_batch=rows,
+            wal_sync=sync,
+            ingest_overhead_x=max(seconds / off_seconds, 1e-9),
+            baseline="ingest_wal_overhead[off]",
+        )
+        benchmark.extra_info[f"wal_{sync}_ingests_per_s"] = throughput
+
+
 def test_replica_group_throughput(benchmark):
     """Router + replicas serve exact reads under load (recorded, not armed:
     on one CPU every extra replica shares the same core, so the scaling

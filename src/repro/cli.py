@@ -14,9 +14,11 @@ Three families of commands:
   (:mod:`repro.serving`): load a model archive once and answer
   ``predict``/``ingest`` requests over TCP, with server-side predict
   micro-batching (``--batch-rows``/``--batch-delay-ms``), periodic and
-  ingest-count-triggered atomic snapshots back to disk, kernel warm-up
-  before the first connection (``--no-warmup`` to skip), and read replicas
-  that sync exactly from a primary (``--replica-of``).  ``repro route``
+  ingest-count-triggered atomic snapshots back to disk, a write-ahead
+  ingest log (``--wal``/``--wal-sync``) that makes every acked ingest
+  survive a crash between snapshots (replayed exactly at restart), kernel
+  warm-up before the first connection (``--no-warmup`` to skip), and read
+  replicas that sync exactly from a primary (``--replica-of``).  ``repro route``
   fronts a primary + replicas behind one address, round-robining predicts.
   ``repro predict --server HOST:PORT`` is the matching client path.
 * ``repro worker`` — host shards for the multi-host TCP backend: a
@@ -42,6 +44,7 @@ Examples::
     python -m repro worker --listen 0.0.0.0:9001
     python -m repro predict vot.npz Vot --out labels.txt
     python -m repro serve vot.npz --listen 0.0.0.0:9100 --snapshot-every 100
+    python -m repro serve vot.npz --listen 0.0.0.0:9100 --wal --wal-sync always
     python -m repro serve --replica-of host1:9100 --listen 0.0.0.0:9101
     python -m repro route --primary host1:9100 --replicas host1:9101,host1:9102
     python -m repro predict --server host1:9100 Vot --out labels.txt
@@ -160,6 +163,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--snapshot-path", default=None, metavar="PATH",
         help="where snapshots land (default: overwrite the model archive)",
+    )
+    serve.add_argument(
+        "--wal", action=argparse.BooleanOptionalAction, default=False,
+        help="write-ahead ingest log at <snapshot-path>.wal: every ingest is "
+        "logged before it is applied, and a restart replays records newer "
+        "than the snapshot, so a crash between snapshots loses no acked "
+        "ingest (--no-wal disables; requires a snapshot path)",
+    )
+    serve.add_argument(
+        "--wal-sync", choices=["always", "batch", "none"], default="batch",
+        metavar="{always,batch,none}",
+        help="per-record durability: 'always' fsyncs (survives machine "
+        "crash), 'batch' flushes to the OS (survives process crash; "
+        "default), 'none' leaves records buffered until rotation",
     )
     serve.add_argument(
         "--batch-rows", type=int, default=4096, metavar="N",
@@ -630,6 +647,8 @@ def _serve(args: argparse.Namespace) -> int:
             snapshot_path=args.snapshot_path,
             snapshot_every=args.snapshot_every,
             snapshot_interval=args.snapshot_interval,
+            wal=args.wal,
+            wal_sync=args.wal_sync,
             max_batch_rows=args.batch_rows,
             max_batch_delay_ms=args.batch_delay_ms,
             replica_of=args.replica_of,
@@ -643,6 +662,11 @@ def _serve(args: argparse.Namespace) -> int:
           f"n={info['n_objects']}, role={info['role']}) from {source}")
     if server.snapshot_path is not None and (args.snapshot_every or args.snapshot_interval):
         print(f"snapshots -> {server.snapshot_path}")
+    if server.wal_enabled:
+        print(f"write-ahead log -> {server.wal_path} (sync={server.wal_sync})")
+        if server.wal_replayed_batches:
+            print(f"wal replay: recovered {server.wal_replayed_batches} "
+                  f"acked ingest batches ({server.wal_replayed_objects} rows)")
     if not args.no_warmup:
         # Pre-pay JIT and cache latency before the first client connects.
         numba = server.warm_up()

@@ -41,6 +41,16 @@ so the codec now lives here, shared by both servers:
   resolves before ``serve_forever``), one daemon thread per session, ``once``
   semantics (exit when every accepted session finished), idempotent
   ``shutdown``.
+* :func:`wal_record` / :func:`read_wal_records` — the on-disk record framing
+  of the serving tier's write-ahead ingest log (PR 10).  A record is the
+  wire frame layout plus a CRC: ``u64 body length | u32 crc32(body) | body``,
+  where the body is a regular :func:`pack_message` frame body.  The CRC is
+  what makes crash recovery exact: a record torn by a crash mid-append
+  (truncated length, truncated body, or a body that does not match its
+  checksum) is detected and *dropped*, never half-applied —
+  :func:`read_wal_records` returns every intact record plus the byte offset
+  where the clean prefix ends, so the reader can truncate the torn tail
+  before appending again.
 """
 
 from __future__ import annotations
@@ -51,6 +61,7 @@ import os
 import socket
 import struct
 import threading
+import zlib
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -69,6 +80,8 @@ __all__ = [
     "send_frame",
     "recv_frame",
     "recv_frame_interruptible",
+    "wal_record",
+    "read_wal_records",
     "parse_address",
     "ThreadedFrameServer",
 ]
@@ -395,6 +408,65 @@ def recv_frame_interruptible(
             sock.settimeout(previous_timeout)
         except OSError:  # pragma: no cover - socket already torn down
             pass
+
+
+# ---------------------------------------------------------------------- #
+# Write-ahead-log record framing (serving-tier durability)
+# ---------------------------------------------------------------------- #
+#: WAL record header: the frame length prefix plus a CRC-32 of the body.
+_WAL_HEADER = struct.Struct(">QI")
+
+
+def wal_record(body: bytes, max_record: Optional[int] = None) -> bytes:
+    """One append-only log record: ``u64 len | u32 crc32(body) | body``.
+
+    The body is a regular frame body (:func:`pack_message`), so a WAL record
+    is the wire layout with a checksum bolted on — the checksum is what lets
+    :func:`read_wal_records` tell a record torn by a crash mid-append from an
+    intact one.  Oversized bodies are rejected with the same cap as
+    :func:`send_frame` (a corrupt length must never drive a huge allocation
+    at replay, so the cap is enforced symmetrically at append).
+    """
+    cap = frame_cap() if max_record is None else int(max_record)
+    if len(body) > cap:
+        raise TransportError(
+            f"WAL record of {len(body)} bytes exceeds the {cap} cap; "
+            "ingest smaller batches, or raise REPRO_MAX_FRAME"
+        )
+    return _WAL_HEADER.pack(len(body), zlib.crc32(body) & 0xFFFFFFFF) + body
+
+
+def read_wal_records(
+    data: bytes, max_record: Optional[int] = None
+) -> Tuple[List[bytes], int]:
+    """Every intact record in ``data``, plus the clean-prefix byte offset.
+
+    Reads records front to back and stops at the first sign of damage: a
+    truncated header, a length over the cap (a corrupt prefix), a truncated
+    body, or a CRC mismatch.  Returns ``(bodies, clean_offset)`` where
+    ``clean_offset`` is the end of the last intact record — everything past
+    it is a torn tail the writer crashed in the middle of (or trailing
+    corruption) and must be discarded: truncate the file to ``clean_offset``
+    before appending again.  Records *before* the damage are exactly the
+    appends that completed, so replaying them is exact.
+    """
+    cap = frame_cap() if max_record is None else int(max_record)
+    bodies: List[bytes] = []
+    offset = 0
+    total = len(data)
+    while offset + _WAL_HEADER.size <= total:
+        length, crc = _WAL_HEADER.unpack_from(data, offset)
+        if length > cap:
+            break  # corrupt length prefix: nothing past it can be trusted
+        end = offset + _WAL_HEADER.size + length
+        if end > total:
+            break  # torn tail: the append never completed
+        body = data[offset + _WAL_HEADER.size : end]
+        if zlib.crc32(body) & 0xFFFFFFFF != crc:
+            break  # bit rot or a torn overwrite: drop from here on
+        bodies.append(body)
+        offset = end
+    return bodies, offset
 
 
 # ---------------------------------------------------------------------- #

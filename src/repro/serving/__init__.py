@@ -6,9 +6,11 @@ once (:func:`repro.persistence.load_model`) and answers ``predict`` /
 ``ingest`` / ``info`` / ``snapshot`` requests over the same length-prefixed
 JSON+npz frames as the multi-host shard workers
 (:mod:`repro.distributed.codec`), with concurrent read-locked predicts,
-serialized exact-merge ingests, and atomic write-temp-then-rename snapshots
-back to disk.  :class:`ServingClient` is the connection handle application
-code uses; ``repro serve`` / ``repro predict --server`` are the CLI faces.
+serialized exact-merge ingests, atomic write-temp-then-rename snapshots
+back to disk, and an optional write-ahead ingest log (``wal=True``) that
+replays acked batches exactly after a crash — "acked means durable".
+:class:`ServingClient` is the connection handle application code uses;
+``repro serve`` / ``repro predict --server`` are the CLI faces.
 
 Quick start::
 
@@ -25,7 +27,12 @@ Quick start::
 from repro.serving.client import PendingPredict, ServingClient
 from repro.serving.protocol import SERVICE_NAME, SERVING_PROTOCOL_VERSION
 from repro.serving.router import ServingRouter, route_serving
-from repro.serving.server import ModelServer, ReadWriteLock, serve_model
+from repro.serving.server import (
+    ModelServer,
+    ReadWriteLock,
+    WriteAheadLog,
+    serve_model,
+)
 
 __all__ = [
     "ModelServer",
@@ -33,6 +40,7 @@ __all__ = [
     "ReadWriteLock",
     "ServingClient",
     "ServingRouter",
+    "WriteAheadLog",
     "route_serving",
     "serve_model",
     "SERVICE_NAME",

@@ -44,6 +44,20 @@ Connection handling:
   before the connection died.  Callers that need exactly-once ingest must
   deduplicate at the application level.
 
+Durability
+----------
+What an ingest ack *means* depends on how the server was launched; the
+client can read it off ``server_info`` (the welcome meta, refreshed by
+``info()``): ``wal`` tells whether a write-ahead log is on, ``wal_sync``
+its sync level.  With ``wal`` on, every acked ingest has already been
+appended to the server's log before it was applied — ``always`` survives
+machine power loss, ``batch`` (the default) survives a server crash/SIGKILL
+— and a restarted server replays the log to a state bit-identical to
+everything it acked.  Without a WAL, acks are write-behind: batches since
+the last snapshot are lost on a crash.  ``snapshot_failures`` in ``info()``
+counts background snapshot errors the server reported out-of-band instead
+of failing an already-applied ingest.
+
 Server-side application errors raise
 :class:`~repro.distributed.transport.TransportError` carrying the remote
 traceback (delivered through the matching future on the pipelined path), and

@@ -47,6 +47,16 @@ Replaying a delta (count the coerced codes under the primary's labels,
 exact-merge into the ``EngineState``) reproduces the primary's post-batch
 state bit-identically, so a replica's reads are exact.
 
+**Durability facts.**  The ``welcome`` and ``info`` metas carry the
+server's write-ahead-log state alongside the model facts: ``wal`` (bool),
+``wal_sync`` (``"always"``/``"batch"``/``"none"``, ``None`` when off),
+``wal_path``, ``wal_records``/``wal_bytes`` (the log's current extent),
+``wal_replayed_batches``/``wal_replayed_objects`` (what startup recovery
+replayed), and ``snapshot_failures`` (background snapshot errors reported
+out-of-band rather than failing acked ingests).  These are additive meta
+keys — protocol 2 clients that ignore them are unaffected.  A router's
+``info`` nests the same facts from its primary under ``primary_wal``.
+
 Application-level failures (a batch with the wrong feature count, a snapshot
 request with no path configured) come back as ``error`` frames carrying the
 exception name, message and server-side traceback (plus the request's

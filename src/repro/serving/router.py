@@ -12,7 +12,10 @@ forwards each request, as raw frame bytes, to the right backend:
 * ``info`` — answered locally with the router's own topology and routing
   counters, enriched with the model facts (clusterer, ``n_clusters``, ...)
   fetched from a read backend — so clients that size buffers off the
-  welcome (``repro predict --server``) work unchanged through the router;
+  welcome (``repro predict --server``) work unchanged through the router —
+  plus a ``primary_wal`` dict of the primary's durability facts (``wal``,
+  ``wal_sync``, ``wal_records``, ``snapshot_failures``, ...) so writers
+  behind the router can still see whether acked means durable;
 * ``shutdown`` — drains the router itself; backends are never shut down
   through the router.
 
@@ -247,6 +250,8 @@ class ServingRouter(ThreadedFrameServer):
         self.drained = threading.Event()
         #: Last model facts fetched from a backend (stale-ok welcome cache).
         self._model_facts: Dict[str, Any] = {}
+        #: Last durability facts fetched from the primary (stale-ok cache).
+        self._primary_wal: Dict[str, Any] = {}
 
     # -- read-backend rotation & liveness ------------------------------- #
     def _next_read_backend(self) -> str:
@@ -326,8 +331,43 @@ class ServingRouter(ThreadedFrameServer):
         with self._rr_lock:
             return dict(self._model_facts)
 
+    #: Primary durability facts surfaced through the router (clients writing
+    #: through one stable address can still see whether acked means durable).
+    _PRIMARY_WAL_KEYS = (
+        "wal", "wal_sync", "wal_path", "wal_records", "wal_bytes",
+        "wal_replayed_batches", "snapshot_failures",
+    )
+
+    def _primary_wal_facts(self) -> Optional[Dict[str, Any]]:
+        """The primary's WAL/durability facts; last good answer on failure."""
+        if self.primary is None:
+            return None
+        sock = None
+        try:
+            sock = _open_backend(self.primary, self.connect_timeout)
+            send_frame(sock, pack_message("info", {}))
+            kind, meta, _ = unpack_message(recv_frame(sock))
+            if kind == "info":
+                with self._rr_lock:
+                    self._primary_wal = {
+                        key: meta[key]
+                        for key in self._PRIMARY_WAL_KEYS
+                        if key in meta
+                    }
+        except (TransportError, OSError):
+            pass  # primary down: serve the cached (possibly empty) facts
+        finally:
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:  # pragma: no cover
+                    pass
+        with self._rr_lock:
+            return dict(self._primary_wal)
+
     def info(self) -> Dict[str, Any]:
         facts = self._backend_model_facts()
+        primary_wal = self._primary_wal_facts()
         with self._rr_lock:
             routed = dict(self.routed_predicts)
             ingests = self.routed_ingests
@@ -341,6 +381,7 @@ class ServingRouter(ThreadedFrameServer):
             "dead_backends": self.dead_backends(),
             "routed_predicts": routed,
             "routed_ingests": ingests,
+            "primary_wal": primary_wal,
         })
         return facts
 

@@ -54,8 +54,36 @@ Snapshots are triggered three ways: every ``snapshot_every`` ingest batches
 (taken synchronously, still under the write lock), every
 ``snapshot_interval`` seconds (a background thread, under a read lock), and
 once more during graceful drain if any ingest arrived since the last one.
-Ingests acknowledged *after* the last snapshot and before a crash are lost —
-the usual write-behind caveat; lower ``snapshot_every`` to shrink the window.
+
+With snapshots alone the tier is *write-behind*: ingests acknowledged after
+the last snapshot and before a crash would be lost.  ``wal=True`` closes
+that window with a write-ahead ingest log (PR 10).  Before an ingest batch
+is applied, one CRC-checked record — the batch codes plus the labels this
+server assigned — is appended to ``<snapshot_path>.wal``; only after the
+append succeeds is the batch merged and acknowledged.  On startup, a server
+finding WAL records newer than its snapshot replays them through
+``replay_ingest`` — an exact count merge under the recorded labels — so the
+recovered state is **bit-identical** to everything it acked (a final record
+torn by the crash is detected by its CRC and dropped; it was never acked).
+Each record carries the model's object count at append time, so records
+already contained in the snapshot (a crash between the snapshot landing and
+the log rotating) are recognised and skipped, never double-applied.
+
+What ``--wal-sync`` guarantees per acked ingest:
+
+* ``always`` — the record is ``fsync``'d before the batch is applied:
+  durable against process *and* machine crashes.
+* ``batch`` (default) — the record is flushed to the OS before the batch is
+  applied: durable against a process crash (SIGKILL), lost only if the whole
+  machine dies before the kernel writes it back.
+* ``none`` — the record stays in the process's buffer: no extra guarantee
+  over snapshots (the buffer flushes at rotation); fastest.
+
+Every successful snapshot rotates the log (truncates it under the snapshot
+mutex — the records are now contained in the archive), so the WAL stays
+bounded by the snapshot cadence.  ``reload`` also truncates it: deltas
+against the replaced model are meaningless, mirroring how delta subscribers
+are severed (the reloaded state itself is durable from the next snapshot).
 
 Shutdown drains gracefully: the listening socket closes first, idle sessions
 notice via the interruptible receive and exit, in-flight requests (including
@@ -84,10 +112,12 @@ from repro.distributed.codec import (
     pack_compact,
     pack_message,
     parse_address,
+    read_wal_records,
     recv_frame,
     recv_frame_interruptible,
     send_frame,
     unpack_message,
+    wal_record,
 )
 from repro.distributed.transport import TransportError
 from repro.persistence import load_model, save_model
@@ -101,7 +131,109 @@ from repro.serving.protocol import (
     request_tag,
 )
 
-__all__ = ["ReadWriteLock", "ModelServer", "serve_model"]
+__all__ = ["ReadWriteLock", "WriteAheadLog", "ModelServer", "serve_model"]
+
+#: ``--wal-sync`` policies, weakest durability last (see module docs).
+WAL_SYNC_POLICIES = ("always", "batch", "none")
+
+
+class WriteAheadLog:
+    """Append-only CRC-checked ingest log backing a :class:`ModelServer`.
+
+    One record per ingest batch, in the :func:`wal_record` framing, appended
+    *before* the batch is applied.  The caller serialises access (appends
+    happen under the server's write lock, rotation under the snapshot mutex
+    while at least a read lock is held, so the two never overlap).
+
+    Parameters
+    ----------
+    path:
+        The log file (``<snapshot_path>.wal``).  Opened for append; existing
+        bytes are preserved — read them with :meth:`read` *before*
+        constructing the writer and replay them through the model.
+    sync:
+        One of :data:`WAL_SYNC_POLICIES` — what each :meth:`append` does
+        after writing the record: ``always`` flushes and ``fsync``s (durable
+        against machine crash), ``batch`` flushes to the OS (durable against
+        process crash), ``none`` leaves it buffered (no guarantee).
+    """
+
+    def __init__(self, path: Union[str, Path], sync: str = "batch") -> None:
+        if sync not in WAL_SYNC_POLICIES:
+            raise ValueError(
+                f"wal_sync must be one of {WAL_SYNC_POLICIES}, got {sync!r}"
+            )
+        self.path = Path(path)
+        self.sync = sync
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "ab")
+        #: Records appended (or found intact at open) in this log generation.
+        self.records = 0
+        #: Bytes of intact records currently in the file.
+        self.size_bytes = self._file.tell()
+
+    @staticmethod
+    def read(path: Union[str, Path]) -> Tuple[List[bytes], int, int]:
+        """Intact record bodies on disk: ``(bodies, clean_offset, torn_bytes)``.
+
+        ``torn_bytes`` is the length of the tail past the last intact record
+        — non-zero exactly when the previous writer crashed mid-append (that
+        record was never acked) or the tail rotted.  Truncate to
+        ``clean_offset`` (see :meth:`truncate_to`) before appending again.
+        """
+        try:
+            raw = Path(path).read_bytes()
+        except FileNotFoundError:
+            return [], 0, 0
+        bodies, clean = read_wal_records(raw)
+        return bodies, clean, len(raw) - clean
+
+    def truncate_to(self, offset: int) -> None:
+        """Drop everything past ``offset`` (discarding a torn tail)."""
+        self._file.flush()
+        self._file.truncate(offset)
+        self.size_bytes = offset
+
+    def append(self, body: bytes) -> None:
+        """Write one record and make it as durable as the sync policy says.
+
+        Raises on any I/O failure (e.g. disk full) *before* the caller
+        applies the batch — the append-before-apply discipline: a batch that
+        could not be logged is never applied, so it is reported as an error
+        and the client knows it was not ingested.
+        """
+        record = wal_record(body)
+        self._file.write(record)
+        if self.sync == "always":
+            self._file.flush()
+            os.fsync(self._file.fileno())
+        elif self.sync == "batch":
+            self._file.flush()
+        self.records += 1
+        self.size_bytes += len(record)
+
+    def rotate(self) -> None:
+        """Empty the log: its records are now contained in a landed snapshot.
+
+        Flushes first so stale buffered bytes cannot resurface after the
+        truncate, then cuts the file to zero.  Called with the snapshot
+        mutex held, right after the snapshot's atomic ``os.replace`` — a
+        crash between the two leaves stale records behind, which replay
+        recognises by their recorded object counts and skips.
+        """
+        self._file.flush()
+        self._file.truncate(0)
+        if self.sync == "always":
+            os.fsync(self._file.fileno())
+        self.records = 0
+        self.size_bytes = 0
+
+    def close(self) -> None:
+        try:
+            self._file.flush()
+            self._file.close()
+        except OSError:  # pragma: no cover - best-effort at shutdown
+            pass
 
 
 class ReadWriteLock:
@@ -376,7 +508,19 @@ class ModelServer(ThreadedFrameServer):
     snapshot_every:
         Take a snapshot after every N ``ingest`` batches (0 disables).
     snapshot_interval:
-        Also snapshot every this-many seconds while dirty (None disables).
+        Also snapshot every this-many seconds while dirty (``None``
+        disables; 0 is rejected, not silently treated as disabled).
+    wal:
+        Run a write-ahead ingest log at ``<snapshot_path>.wal`` (see the
+        module docs): every ingest batch is logged *before* it is applied,
+        and on startup any records newer than the snapshot are replayed so
+        the recovered state is bit-identical to everything this server
+        acked.  Requires a snapshot path; rejected on replicas (their state
+        comes from the primary — run the WAL there).
+    wal_sync:
+        Durability of each logged record: ``"always"`` (fsync — survives
+        machine crash), ``"batch"`` (flush to OS — survives process crash,
+        the default) or ``"none"`` (buffered — snapshots only).
     max_batch_rows:
         Predict micro-batching: coalesce queued predicts into kernel calls of
         at most this many rows (0 disables batching entirely).
@@ -416,6 +560,8 @@ class ModelServer(ThreadedFrameServer):
         snapshot_path: Union[str, Path, None] = None,
         snapshot_every: int = 0,
         snapshot_interval: Optional[float] = None,
+        wal: bool = False,
+        wal_sync: str = "batch",
         max_batch_rows: int = 4096,
         max_batch_delay_ms: float = 0.0,
         replica_of: Optional[str] = None,
@@ -462,8 +608,11 @@ class ModelServer(ThreadedFrameServer):
         self.snapshot_every = int(snapshot_every or 0)
         if self.snapshot_every < 0:
             raise ValueError("snapshot_every must be >= 0")
+        # `if snapshot_interval` would silently coerce an explicit 0 to
+        # "disabled", bypassing the positivity check below — only None
+        # means disabled (the PR 10 validation bugfix).
         self.snapshot_interval = (
-            float(snapshot_interval) if snapshot_interval else None
+            None if snapshot_interval is None else float(snapshot_interval)
         )
         if self.snapshot_interval is not None and self.snapshot_interval <= 0:
             raise ValueError("snapshot_interval must be positive")
@@ -472,6 +621,23 @@ class ModelServer(ThreadedFrameServer):
                 "snapshots are enabled but there is nowhere to write them: "
                 "pass snapshot_path= (or serve from a model file path)"
             )
+        self.wal_enabled = bool(wal)
+        self.wal_sync = str(wal_sync)
+        if self.wal_sync not in WAL_SYNC_POLICIES:
+            raise ValueError(
+                f"wal_sync must be one of {WAL_SYNC_POLICIES}, got {wal_sync!r}"
+            )
+        if self.wal_enabled:
+            if self.is_replica:
+                raise ValueError(
+                    "a read replica cannot run a write-ahead log: its state "
+                    "comes from the primary (run the WAL there)"
+                )
+            if self.snapshot_path is None:
+                raise ValueError(
+                    "wal=True needs a snapshot to pair with: pass "
+                    "snapshot_path= (or serve from a model file path)"
+                )
         self.max_batch_rows = int(max_batch_rows or 0)
         if self.max_batch_rows < 0:
             raise ValueError("max_batch_rows must be >= 0")
@@ -495,8 +661,17 @@ class ModelServer(ThreadedFrameServer):
         self.ingested_batches = 0
         self.ingested_objects = 0
         self.snapshots_taken = 0
+        self.snapshot_failures = 0
         self.reloads = 0
         self._ingests_since_snapshot = 0
+        self._wal: Optional[WriteAheadLog] = None
+        self.wal_replayed_batches = 0
+        self.wal_replayed_objects = 0
+        if self.wal_enabled:
+            # Replay-before-serve: records newer than the snapshot we just
+            # loaded are exactly the ingests acked after it — apply them
+            # before the first client can observe (or mutate) the state.
+            self._wal = self._recover_wal()
         # Pre-warm the lazy mode/weight cache so concurrent reader threads
         # never race on filling it (readers share the read lock).
         if self.model.assignment_model_ is not None:
@@ -508,6 +683,73 @@ class ModelServer(ThreadedFrameServer):
     @property
     def is_replica(self) -> bool:
         return self.replica_of is not None
+
+    @property
+    def wal_path(self) -> Optional[Path]:
+        """Where the write-ahead log lives (``None`` when disabled)."""
+        if not self.wal_enabled or self.snapshot_path is None:
+            return None
+        return self.snapshot_path.with_name(self.snapshot_path.name + ".wal")
+
+    def _recover_wal(self) -> WriteAheadLog:
+        """Replay on-disk WAL records through the loaded model, then open the
+        log for appending (constructor only: no readers exist yet).
+
+        Exactness rests on three rules: a record whose recorded object count
+        (``base_n``) is *below* the model's is already contained in the
+        loaded snapshot (a crash landed between the snapshot's ``os.replace``
+        and the log rotation) and is skipped, never double-applied; a record
+        at the model's count is replayed through ``replay_ingest`` — the
+        same exact count merge a live ingest performs; and a record *above*
+        the count means the snapshot and log are not a pair (restored from
+        different backups?), which fails loudly rather than recovering a
+        wrong state.  A torn tail (CRC/truncation, detected by
+        ``read_wal_records``) is a record that was never acked: dropped and
+        truncated away so new appends extend a clean log.
+        """
+        path = self.wal_path
+        bodies, clean_offset, torn_bytes = WriteAheadLog.read(path)
+        applied = objects = 0
+        for body in bodies:
+            kind, meta, arrays = unpack_message(body)
+            if kind != "wal" or "base_n" not in meta:
+                raise TransportError(
+                    f"{path}: malformed log record (kind {kind!r}); refusing "
+                    "to recover from a log this server cannot have written"
+                )
+            base_n = int(meta["base_n"])
+            have_n = int(self.model.labels_.shape[0])
+            if base_n < have_n:
+                continue  # already contained in the snapshot we loaded
+            if base_n > have_n:
+                raise TransportError(
+                    f"{path}: log record expects a model of {base_n} objects "
+                    f"but the loaded snapshot has {have_n} — snapshot and WAL "
+                    "are not a pair; refusing to recover a wrong state"
+                )
+            self.model.replay_ingest(arrays["codes"], arrays["labels"])
+            applied += 1
+            objects += int(arrays["labels"].shape[0])
+        if torn_bytes:
+            print(
+                f"repro serve: dropped a torn {torn_bytes}-byte WAL tail "
+                "(that record was never acknowledged)",
+                file=sys.stderr,
+            )
+        wal = WriteAheadLog(path, self.wal_sync)
+        if torn_bytes:
+            wal.truncate_to(clean_offset)
+        wal.records = len(bodies)
+        wal.size_bytes = clean_offset
+        self.wal_replayed_batches = applied
+        self.wal_replayed_objects = objects
+        # Replayed batches count as ingested (they were acked) and are not
+        # yet in the snapshot on disk, so the next snapshot trigger (or the
+        # drain snapshot) persists them and rotates the log.
+        self.ingested_batches += applied
+        self.ingested_objects += objects
+        self._ingests_since_snapshot += applied
+        return wal
 
     def warm_up(self) -> bool:
         """Pre-pay every first-request cost: JIT kernels + assignment cache.
@@ -574,7 +816,13 @@ class ModelServer(ThreadedFrameServer):
                 with self._lock.read():
                     self._write_snapshot()
             except Exception as exc:  # noqa: BLE001 - drain must complete
+                self.snapshot_failures += 1
                 print(f"repro serve: final snapshot failed: {exc}", file=sys.stderr)
+        if self._wal is not None:
+            # After the drain snapshot the log is rotated (empty); if that
+            # snapshot failed, the records stay behind for the next start
+            # to replay — acked ingests survive an ugly shutdown too.
+            self._wal.close()
         self.drained.set()
 
     def _periodic_snapshots(self) -> None:
@@ -584,6 +832,7 @@ class ModelServer(ThreadedFrameServer):
                     if self._ingests_since_snapshot:
                         self._write_snapshot()
             except Exception as exc:  # noqa: BLE001 - keep the timer alive
+                self.snapshot_failures += 1
                 print(f"repro serve: periodic snapshot failed: {exc}", file=sys.stderr)
 
     # ------------------------------------------------------------------ #
@@ -711,7 +960,28 @@ class ModelServer(ThreadedFrameServer):
                 )
             codes = np.asarray(arrays["codes"], dtype=np.int64)
             with self._lock.write():
-                labels = self.model.ingest(codes)
+                if self._wal is not None:
+                    # Append-before-apply: assign the batch exactly as
+                    # `ingest` would (`assign` is the same coerce + distance
+                    # kernel), log codes + labels, and only then fold it in
+                    # via `replay_ingest` — the identical count merge, so a
+                    # recovery that replays this record lands bit-identical
+                    # to the state acked here.  A failed append (disk full)
+                    # raises before anything is applied: the client gets an
+                    # error for a batch that truly was not ingested.
+                    labels = self.model.assignment_model_.assign(codes)
+                    self._wal.append(pack_message(
+                        "wal",
+                        {
+                            "seq": self.ingested_batches + 1,
+                            "base_n": int(self.model.labels_.shape[0]),
+                        },
+                        codes=codes,
+                        labels=labels,
+                    ))
+                    self.model.replay_ingest(codes, labels)
+                else:
+                    labels = self.model.ingest(codes)
                 self.ingested_batches += 1
                 self.ingested_objects += int(labels.shape[0])
                 self._ingests_since_snapshot += 1
@@ -731,8 +1001,22 @@ class ModelServer(ThreadedFrameServer):
                     self.snapshot_every
                     and self._ingests_since_snapshot >= self.snapshot_every
                 ):
-                    self._write_snapshot()
-                    snapshot_taken = True
+                    # The batch is applied and its delta published; a
+                    # snapshot failure past this point must not turn into an
+                    # error frame — a client that never auto-replays would
+                    # conclude an ingest that actually succeeded had failed.
+                    # Ack with the applied labels; report the snapshot
+                    # problem out-of-band (the PR 10 ack-semantics bugfix).
+                    try:
+                        self._write_snapshot()
+                        snapshot_taken = True
+                    except Exception as exc:  # noqa: BLE001 - acked anyway
+                        self.snapshot_failures += 1
+                        print(
+                            f"repro serve: post-ingest snapshot failed (the "
+                            f"batch was applied and is acknowledged): {exc}",
+                            file=sys.stderr,
+                        )
             return pack_message(
                 "labels",
                 {"n": int(labels.shape[0]), "snapshot_taken": snapshot_taken, **extra},
@@ -778,6 +1062,13 @@ class ModelServer(ThreadedFrameServer):
                 with self._subscribers_lock:
                     for subscriber in self._subscribers:
                         subscriber.broken = True
+                # The WAL's records are deltas against the old model too:
+                # truncate, mirroring the subscriber sever.  The reloaded
+                # state is durable from the next snapshot (marked dirty
+                # above); until it lands, recovery restores the snapshot.
+                if self._wal is not None:
+                    with self._snapshot_mutex:
+                        self._wal.rotate()
             return pack_message(
                 "reloaded",
                 {
@@ -981,7 +1272,15 @@ class ModelServer(ThreadedFrameServer):
             "ingested_batches": int(self.ingested_batches),
             "ingested_objects": int(self.ingested_objects),
             "snapshots_taken": int(self.snapshots_taken),
+            "snapshot_failures": int(self.snapshot_failures),
             "reloads": int(self.reloads),
+            "wal": bool(self.wal_enabled),
+            "wal_path": None if self.wal_path is None else str(self.wal_path),
+            "wal_sync": self.wal_sync if self.wal_enabled else None,
+            "wal_records": 0 if self._wal is None else int(self._wal.records),
+            "wal_bytes": 0 if self._wal is None else int(self._wal.size_bytes),
+            "wal_replayed_batches": int(self.wal_replayed_batches),
+            "wal_replayed_objects": int(self.wal_replayed_objects),
             "snapshot_path": None if self.snapshot_path is None else str(self.snapshot_path),
             "model_path": None if self.model_path is None else str(self.model_path),
             "max_batch_rows": int(self.max_batch_rows),
@@ -1017,6 +1316,13 @@ class ModelServer(ThreadedFrameServer):
                 except OSError:  # pragma: no cover - already replaced/removed
                     pass
                 raise
+            # The snapshot now contains every logged batch: rotate the WAL
+            # so it stays bounded by the snapshot cadence.  A crash between
+            # the replace above and this truncate leaves stale records
+            # behind, which replay recognises (base_n below the snapshot's
+            # object count) and skips.
+            if self._wal is not None:
+                self._wal.rotate()
             self.snapshots_taken += 1
             self._ingests_since_snapshot = 0
         return target
